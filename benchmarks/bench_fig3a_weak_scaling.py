@@ -1,0 +1,46 @@
+"""Fig. 3(a) — weak scaling at 128 MB per rank (16 ranks/node, 2 GB/node).
+
+Paper: DASH runs 2.3 s on one node and 4.6 s on 128 nodes (3584 cores,
+~256 GB exchanged); the Charm++ HSS histogramming is volatile (5–25 s) and
+cannot keep up.  Shapes checked: DASH time grows by roughly 1.3–2x over
+the sweep, efficiency lands near the paper's ~0.5–0.75, and the HSS
+volatility band is wide and above DASH at scale.
+"""
+
+import pytest
+
+from repro.bench import fig3a_weak_scaling, run_sort_trial
+from repro.machine import supermuc_phase2
+
+
+def test_fig3a_execute(emit):
+    series = emit(fig3a_weak_scaling(mode="execute", repeats=3))
+    rows = series.rows
+    # weak scaling: time non-decreasing with node count (within noise)
+    assert rows[-1]["dash_s"] >= rows[0]["dash_s"] * 0.9
+
+
+def test_fig3a_model(emit):
+    series = emit(fig3a_weak_scaling(mode="model", repeats=3))
+    rows = {r["nodes"]: r for r in series.rows}
+    t1, t128 = rows[1]["dash_s"], rows[128]["dash_s"]
+    # paper: 2.3s -> 4.6s; our calibrated machine lands near those absolutes
+    assert 1.5 < t1 < 4.0
+    assert 1.2 < t128 / t1 < 2.5
+    # efficiency well-behaved (paper ~0.5)
+    assert 0.45 < rows[128]["dash_eff"] <= 1.0
+    # HSS: volatile and not faster than DASH at scale
+    assert rows[128]["hss_hi"] > rows[128]["dash_s"]
+    assert rows[128]["hss_hi"] - rows[128]["hss_lo"] > 0
+
+
+def test_fig3a_kernel(benchmark):
+    machine = supermuc_phase2()
+
+    def trial():
+        return run_sort_trial(
+            16, 4096, algo="dash", machine=machine, ranks_per_node=16, seed=7
+        )
+
+    result = benchmark(trial)
+    assert result.total > 0

@@ -1,0 +1,48 @@
+"""§VI-E.2 — the k-way merge study.
+
+Merging k equal sorted chunks of 32-bit integers on one node, sweeping the
+chunk count and the thread count, for three strategies: an OpenMP-task
+binary merge tree, a GNU-Parallel-style tournament (loser-tree) multiway
+merge, and a parallel re-sort (PSTL).
+
+Paper findings reproduced: two threads merging few large chunks achieve a
+notable speedup over sorting; many threads over many small chunks degrade
+(fan-in cache misses + the memory-bandwidth wall) until the parallel sort
+clearly outperforms merging.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import merge_strategy_study
+from repro.seq import kway_merge
+
+
+def test_merge_study_series(emit):
+    series = emit(merge_strategy_study())
+    rows = {(r["k"], r["threads"]): r for r in series.rows}
+    # few large chunks, few threads: merging beats re-sorting decisively
+    r = rows[(4, 2)]
+    assert min(r["binary_tree_s"], r["tournament_s"]) < r["sort_s"] / 3
+    # many small chunks, many threads: the parallel sort wins
+    assert rows[(1024, 28)]["winner"] == "sort"
+    # merging stops improving with threads once bandwidth-bound
+    assert rows[(1024, 28)]["binary_tree_s"] > rows[(1024, 28)]["sort_s"] * 0.9
+
+
+def test_merge_study_trend_with_k(emit):
+    series = merge_strategy_study(ks=(4, 64, 1024), threads=(28,))
+    sort_margin = []
+    for r in series.rows:
+        best_merge = min(r["binary_tree_s"], r["tournament_s"])
+        sort_margin.append(r["sort_s"] / best_merge)
+    # sort's relative position improves as chunks shrink
+    assert sort_margin[0] > sort_margin[-1]
+
+
+@pytest.mark.parametrize("strategy", ["binary_tree", "tournament", "sort"])
+def test_merge_kernel(benchmark, strategy, rng=np.random.default_rng(3)):
+    """Real wall-time micro-bench of the in-memory merge kernels."""
+    runs = [np.sort(rng.integers(0, 10**6, 20_000).astype(np.int32)) for _ in range(16)]
+    out = benchmark(kway_merge, runs, strategy)
+    assert out.size == 16 * 20_000

@@ -1,0 +1,37 @@
+"""Shared infrastructure of the benchmark suite.
+
+Each ``bench_*.py`` regenerates one paper artefact (figure/table): it runs
+the corresponding experiment from :mod:`repro.bench`, prints the series in
+paper-comparable form, saves it to ``results/<experiment>.json``, and wires
+a representative kernel into pytest-benchmark so ``--benchmark-only`` also
+measures real wall time.
+
+Scale: execute-mode problem sizes are kept small so the suite completes in
+minutes; set ``REPRO_BENCH_SCALE=4`` (or more) to enlarge them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Print a Series and persist it under results/."""
+
+    def _emit(series):
+        print("\n" + series.table() + "\n")
+        series.save(results_dir)
+        return series
+
+    return _emit

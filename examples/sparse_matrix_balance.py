@@ -1,0 +1,84 @@
+"""Load balancing a sparse matrix by sorting nonzeros (§I, §VII use case).
+
+A distributed sparse matrix often arrives badly partitioned: a few ranks
+hold nearly all nonzeros (e.g. after reading blocks of a file), and some
+hold none.  The paper highlights that its sort "handles sparse data
+structures where a fraction of all processors do not contribute local
+elements", and that splitter determination works for any target capacities.
+
+This example stores nonzeros as (row-major linear index) keys, starts from
+a pathologically skewed layout, and rebalances in one sort call with
+*custom capacities* — ending with an even nonzero count per rank and
+row-contiguous ownership.
+
+Run:  python examples/sparse_matrix_balance.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.data import balanced_sizes
+from repro.mpi import run_spmd
+
+P = 8
+ROWS, COLS = 4096, 4096
+NNZ_TOTAL = 400_000
+
+
+def make_skewed_nonzeros(rank: int) -> np.ndarray:
+    """Ranks 0 and 1 hold ~everything; half the ranks hold nothing."""
+    rng = np.random.default_rng([99, rank])
+    if rank == 0:
+        n = int(NNZ_TOTAL * 0.55)
+    elif rank == 1:
+        n = int(NNZ_TOTAL * 0.35)
+    elif rank % 2 == 0:
+        n = int(NNZ_TOTAL * 0.10 / (P // 2 - 1))
+    else:
+        return np.empty(0, dtype=np.uint64)
+    # power-law row popularity: a banded + hub structure
+    rows = np.minimum((rng.pareto(1.5, n) * 40).astype(np.int64), ROWS - 1)
+    cols = rng.integers(0, COLS, n)
+    return (rows.astype(np.uint64) * COLS + cols.astype(np.uint64)).astype(np.uint64)
+
+
+def program(comm):
+    local = make_skewed_nonzeros(comm.rank)
+    total = comm.allreduce(int(local.size))
+    capacities = balanced_sizes(total, comm.size)
+    balanced = repro.sort(comm, local, capacities=capacities)
+
+    # After the sort, this rank owns a contiguous band of the matrix.
+    if balanced.size:
+        row_lo = int(balanced[0] // COLS)
+        row_hi = int(balanced[-1] // COLS)
+    else:
+        row_lo = row_hi = -1
+    return local.size, balanced.size, row_lo, row_hi
+
+
+def main() -> None:
+    out = run_spmd(P, program)
+    total = sum(o[0] for o in out)
+    print(f"sparse matrix: {ROWS}x{COLS}, {total:,} nonzeros on {P} ranks\n")
+    print("rank  nnz before  nnz after   owned rows")
+    for rank, (before, after, lo, hi) in enumerate(out):
+        rows = f"[{lo:>5} .. {hi:>5}]" if lo >= 0 else "(none)"
+        print(f"{rank:>4}  {before:>10,}  {after:>9,}   {rows}")
+
+    sizes_after = [o[1] for o in out]
+    assert max(sizes_after) - min(sizes_after) <= 1
+    print(f"\nimbalance before: {max(o[0] for o in out) / (total / P):.1f}x target")
+    print("imbalance after : 1.0x target (perfect partitioning)")
+
+    # ownership bands are disjoint and ordered
+    bands = [(o[2], o[3]) for o in out if o[2] >= 0]
+    for (lo_a, hi_a), (lo_b, hi_b) in zip(bands[:-1], bands[1:]):
+        assert hi_a <= lo_b or (hi_a == lo_b)  # a row may straddle a boundary
+    print("row bands are ordered - matvec halo exchange stays nearest-neighbour")
+
+
+if __name__ == "__main__":
+    main()

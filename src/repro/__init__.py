@@ -1,0 +1,52 @@
+"""repro — a reproduction of "Engineering a Distributed Histogram Sort" (CLUSTER 2019).
+
+Public surface:
+
+* :func:`repro.sort` / :func:`repro.nth_element` — the paper's algorithms on
+  a distributed array (rank-centric, run under :func:`repro.mpi.run_spmd`).
+* :mod:`repro.mpi` — in-process SPMD runtime (the MPI substitute).
+* :mod:`repro.machine` — machine/cost model (the SuperMUC substitute).
+* :mod:`repro.core` — histogram sort, multiselect, distributed selection.
+* :mod:`repro.baselines` — sample sort, HSS, hyperquicksort, HykSort, bitonic.
+* :mod:`repro.smp` — shared-memory node simulator (TBB/OpenMP merge sorts).
+* :mod:`repro.data` — workload generators.
+* :mod:`repro.bench` — experiment harness regenerating every paper figure.
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+from . import machine, mpi  # noqa: E402  (re-exported subsystems)
+
+__all__ = ["machine", "mpi", "__version__"]
+
+
+_LAZY_SUBMODULES = {"core", "seq", "baselines", "smp", "data", "model", "trace", "bench"}
+_LAZY_API = {
+    "sort",
+    "sorted_result",
+    "nth_element",
+    "find_splitters",
+    "SortConfig",
+    "SplitterConfig",
+    "SortResult",
+    "histogram_sort",
+    "dselect",
+}
+
+
+def __getattr__(name: str):
+    # Lazy imports keep `import repro` light and avoid cycles while the
+    # public API modules pull in the whole core package.
+    if name in _LAZY_SUBMODULES:
+        import importlib
+
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module
+        return module
+    if name in _LAZY_API:
+        from . import core
+
+        return getattr(core, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

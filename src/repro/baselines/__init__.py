@@ -1,0 +1,36 @@
+"""Baseline distributed sorting algorithms (§III related work).
+
+All baselines share the rank-centric calling convention of the core sort:
+``algo(comm, local_array, **params) -> BaselineResult``.  The registry
+:data:`BASELINES` maps names to callables for the benchmark harness.
+"""
+
+from typing import Callable, Mapping
+
+from .bitonic import bitonic_sort
+from .common import BaselineResult
+from .hss import HSSDiagnostics, hss_sort
+from .hyksort import hyksort
+from .hyperquicksort import hyperquicksort
+from .samplesort import psrs_sort, sample_sort
+
+BASELINES: Mapping[str, Callable] = {
+    "sample_sort": sample_sort,
+    "psrs": psrs_sort,
+    "hss": hss_sort,
+    "hyperquicksort": hyperquicksort,
+    "hyksort": hyksort,
+    "bitonic": bitonic_sort,
+}
+
+__all__ = [
+    "BASELINES",
+    "BaselineResult",
+    "HSSDiagnostics",
+    "bitonic_sort",
+    "hss_sort",
+    "hyksort",
+    "hyperquicksort",
+    "psrs_sort",
+    "sample_sort",
+]

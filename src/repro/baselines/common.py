@@ -1,0 +1,46 @@
+"""Shared plumbing of the baseline sorters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..mpi import Comm
+
+__all__ = ["BaselineResult", "partition_counts", "exchange_by_splitters"]
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Output partition + phase timings + algorithm-specific diagnostics."""
+
+    output: np.ndarray
+    phases: dict[str, float]
+    info: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def time(self) -> float:
+        return float(sum(self.phases.values()))
+
+
+def partition_counts(local_sorted: np.ndarray, splitter_values: np.ndarray) -> np.ndarray:
+    """Send counts per destination from P-1 splitter values (keys <= splitter
+    go left; no tie refinement — baselines are allowed imbalance)."""
+    cuts = np.searchsorted(local_sorted, splitter_values, side="right")
+    cuts = np.concatenate(([0], cuts, [local_sorted.size]))
+    return np.diff(cuts).astype(np.int64)
+
+
+def exchange_by_splitters(
+    comm: "Comm", local_sorted: np.ndarray, splitter_values: np.ndarray
+) -> list[np.ndarray]:
+    """Cut a sorted partition at the splitters and run the ALL-TO-ALLV."""
+    counts = partition_counts(local_sorted, splitter_values)
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    chunks = [
+        local_sorted[offsets[d] : offsets[d + 1]] for d in range(comm.size)
+    ]
+    return comm.alltoallv(chunks)

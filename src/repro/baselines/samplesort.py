@@ -1,0 +1,146 @@
+"""Sample sort baselines (§III-A): random sampling and regular sampling (PSRS).
+
+Random sample sort follows the paper's three supersteps verbatim: sample →
+central splitter selection → one ALL-TO-ALL exchange + local sort.  Regular
+sampling (Shi & Schaeffer's PSRS) probes an already-sorted partition at
+regular offsets, which in practice balances much better (§III-A).
+
+Neither guarantees perfect partitioning: output sizes deviate according to
+sample luck, which is exactly the behaviour the histogram sort's splitting
+phase removes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..seq.kmerge import binary_merge_tree
+from ..trace.timer import PhaseTimer
+from .common import BaselineResult, exchange_by_splitters
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..mpi import Comm
+
+__all__ = ["sample_sort", "psrs_sort"]
+
+
+def sample_sort(
+    comm: "Comm",
+    local: np.ndarray,
+    oversampling: int = 32,
+    seed: int = 1,
+) -> BaselineResult:
+    """Random-sampling sample sort.
+
+    ``oversampling`` random keys per rank are gathered on rank 0, which
+    sorts them and broadcasts every ``oversampling``-th as a splitter.
+    """
+    local = np.asarray(local)
+    p = comm.size
+    compute = comm.cost.compute
+    timer = PhaseTimer(comm)
+    if p == 1:
+        out = np.sort(local)
+        comm.compute(compute.sort(out.size))
+        timer.mark("merge")
+        return BaselineResult(output=out, phases=dict(timer.phases))
+    rng = np.random.Generator(np.random.MT19937([seed, comm.rank]))
+
+    # Superstep 1: sampling.
+    s = min(oversampling, local.size)
+    sample = local[rng.integers(0, local.size, size=s)] if s else local[:0]
+    gathered = comm.gather(sample, root=0)
+    timer.mark("sampling")
+
+    # Superstep 2: splitting on the central rank.
+    if comm.rank == 0:
+        flat = np.sort(np.concatenate(gathered))
+        comm.compute(compute.sort(flat.size))
+        if flat.size >= p - 1 and p > 1:
+            idx = (np.arange(1, p) * flat.size) // p
+            splitters = flat[idx]
+        else:
+            # Degenerate sample (tiny inputs): pad with the sample maximum
+            # so the trailing destinations receive nothing.
+            pad = flat[-1] if flat.size else local.dtype.type(0)
+            splitters = np.concatenate(
+                [flat, np.full(p - 1 - flat.size, pad, dtype=flat.dtype)]
+            )
+    else:
+        splitters = None
+    splitters = comm.bcast(splitters, root=0)
+    timer.mark("splitting")
+
+    # Superstep 3: exchange, then sort the received chunks locally.
+    work = np.sort(local)
+    comm.compute(compute.sort(work.size))
+    received = exchange_by_splitters(comm, work, splitters)
+    timer.mark("exchange")
+
+    n_recv = int(sum(c.size for c in received))
+    output = binary_merge_tree(received)
+    comm.compute(compute.kway_merge(n_recv, max(len(received), 2)))
+    timer.mark("merge")
+
+    return BaselineResult(
+        output=output,
+        phases=dict(timer.phases),
+        info={"splitters": splitters, "oversampling": oversampling},
+    )
+
+
+def psrs_sort(comm: "Comm", local: np.ndarray) -> BaselineResult:
+    """Parallel Sorting by Regular Sampling (deterministic splitters)."""
+    local = np.asarray(local)
+    p = comm.size
+    compute = comm.cost.compute
+    timer = PhaseTimer(comm)
+    if p == 1:
+        out = np.sort(local)
+        comm.compute(compute.sort(out.size))
+        timer.mark("merge")
+        return BaselineResult(output=out, phases=dict(timer.phases))
+
+    # Local sort first — regular sampling probes a sorted run.
+    work = np.sort(local)
+    comm.compute(compute.sort(work.size))
+    timer.mark("local_sort")
+
+    # Regular samples: p-1 per rank at offsets (i+1) * n / p.
+    if p > 1 and work.size:
+        idx = np.minimum(((np.arange(1, p) * work.size) // p), work.size - 1)
+        sample = work[idx]
+    else:
+        sample = work[:0]
+    gathered = comm.gather(sample, root=0)
+    if comm.rank == 0:
+        flat = np.sort(np.concatenate(gathered))
+        comm.compute(compute.sort(flat.size))
+        if flat.size >= p - 1 and p > 1:
+            idx = np.minimum((np.arange(1, p) * flat.size) // p, flat.size - 1)
+            splitters = flat[idx]
+        else:
+            pad = flat[-1] if flat.size else local.dtype.type(0)
+            splitters = np.concatenate(
+                [flat, np.full(p - 1 - flat.size, pad, dtype=flat.dtype)]
+            )
+    else:
+        splitters = None
+    splitters = comm.bcast(splitters, root=0)
+    timer.mark("splitting")
+
+    received = exchange_by_splitters(comm, work, splitters)
+    timer.mark("exchange")
+
+    n_recv = int(sum(c.size for c in received))
+    output = binary_merge_tree(received)
+    comm.compute(compute.kway_merge(n_recv, max(len(received), 2)))
+    timer.mark("merge")
+
+    return BaselineResult(
+        output=output,
+        phases=dict(timer.phases),
+        info={"splitters": splitters},
+    )

@@ -1,0 +1,161 @@
+"""Trial runner: repeated SPMD sort runs with median + 95% CI statistics.
+
+The paper reports "the median time out of 10 executions along with the 95%
+confidence interval, excluding an initial warmup run" (§VI-B); runs here
+vary the data seed (virtual time is deterministic per seed, so seeds are
+the only noise source) and report the same statistics, with the CI of the
+median from order statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..baselines import hss_sort, psrs_sort, sample_sort
+from ..core import SortConfig, histogram_sort
+from ..data import make_partition
+from ..machine import MachineSpec
+from ..mpi import run_spmd
+from ..trace.timer import combine_phases
+
+__all__ = ["TrialResult", "RepeatStats", "median_ci", "run_sort_trial", "repeat_sort_trials"]
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """One sort execution: makespan and per-phase (max over ranks) times."""
+
+    total: float
+    phases: dict[str, float]
+    rounds: int
+    exchanged_bytes: int
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class RepeatStats:
+    """Median + 95% CI of the median over repeated trials."""
+
+    median: float
+    ci_low: float
+    ci_high: float
+    n: int
+    values: tuple[float, ...]
+
+
+def median_ci(values: Sequence[float], confidence: float = 0.95) -> RepeatStats:
+    """Distribution-free CI of the median via binomial order statistics."""
+    vals = sorted(float(v) for v in values)
+    n = len(vals)
+    if n == 0:
+        raise ValueError("no values")
+    med = float(np.median(vals))
+    if n < 3:
+        return RepeatStats(med, vals[0], vals[-1], n, tuple(vals))
+    # Normal approximation to the binomial(n, 0.5) order-statistic interval.
+    z = 1.959963984540054 if confidence == 0.95 else abs(np.sqrt(2) * math.erf(confidence))
+    half = z * math.sqrt(n) / 2.0
+    lo = max(0, int(math.floor(n / 2.0 - half)))
+    hi = min(n - 1, int(math.ceil(n / 2.0 + half)) - 1)
+    return RepeatStats(med, vals[lo], vals[hi], n, tuple(vals))
+
+
+_ALGOS: dict[str, Callable] = {}
+
+
+def _dash(comm, local, config):
+    res = histogram_sort(comm, local, config=config)
+    return {
+        "phases": res.phases,
+        "rounds": res.rounds,
+        "exchanged": res.exchanged_bytes,
+    }
+
+
+def _hss(comm, local, config):
+    res = hss_sort(comm, local, eps=config.eps if config else 0.0)
+    diag = res.info["diagnostics"]
+    return {
+        "phases": res.phases,
+        "rounds": diag.rounds,
+        "exchanged": int(res.output.nbytes),
+    }
+
+
+def _samplesort(comm, local, config):
+    res = sample_sort(comm, local)
+    return {"phases": res.phases, "rounds": 1, "exchanged": int(res.output.nbytes)}
+
+
+def _psrs(comm, local, config):
+    res = psrs_sort(comm, local)
+    return {"phases": res.phases, "rounds": 1, "exchanged": int(res.output.nbytes)}
+
+
+_ALGOS.update(dash=_dash, hss=_hss, sample_sort=_samplesort, psrs=_psrs)
+
+
+def _trial_program(comm, algo: str, dist: str, n_per_rank: int, seed: int, config):
+    local = make_partition(dist, n_per_rank, rank=comm.rank, seed=seed)
+    return _ALGOS[algo](comm, local, config)
+
+
+def run_sort_trial(
+    p: int,
+    n_per_rank: int,
+    *,
+    algo: str = "dash",
+    dist: str = "uniform_u64",
+    seed: int = 1,
+    machine: MachineSpec | None = None,
+    ranks_per_node: int | None = None,
+    config: SortConfig | None = None,
+    use_shm: bool = True,
+) -> TrialResult:
+    """Execute one distributed sort and collect virtual-time statistics."""
+    if algo not in _ALGOS:
+        raise KeyError(f"unknown algo {algo!r}; available: {sorted(_ALGOS)}")
+    results, rt = run_spmd(
+        p,
+        _trial_program,
+        algo,
+        dist,
+        n_per_rank,
+        seed,
+        config,
+        machine=machine,
+        ranks_per_node=ranks_per_node,
+        use_shm=use_shm,
+        return_runtime=True,
+    )
+    phases = combine_phases([r["phases"] for r in results], how="max")
+    return TrialResult(
+        total=rt.elapsed(),
+        phases=phases,
+        rounds=int(max(r["rounds"] for r in results)),
+        exchanged_bytes=int(sum(r["exchanged"] for r in results)),
+        extra={"bytes_sent": int(rt.stats.bytes_sent.sum())},
+    )
+
+
+def repeat_sort_trials(
+    p: int,
+    n_per_rank: int,
+    *,
+    repeats: int = 5,
+    warmup: int = 1,
+    seed0: int = 100,
+    **kwargs: Any,
+) -> tuple[RepeatStats, list[TrialResult]]:
+    """Repeat a trial over seeds; returns (stats over totals, all trials)."""
+    trials: list[TrialResult] = []
+    for i in range(warmup + repeats):
+        trial = run_sort_trial(p, n_per_rank, seed=seed0 + i, **kwargs)
+        if i >= warmup:
+            trials.append(trial)
+    stats = median_ci([t.total for t in trials])
+    return stats, trials

@@ -1,0 +1,107 @@
+"""Shared-memory experiments: Fig. 4 and the §VI-E.2 merge study."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine import single_node
+from ..model import predict_histsort
+from ..smp import kway_merge_time, parallel_mergesort_time
+from .results import Series
+
+__all__ = ["fig4_shared_memory", "merge_strategy_study"]
+
+#: Fig. 4 sweep: cores filling 1..4 NUMA domains of one SuperMUC node
+FIG4_POINTS = [(7, 1), (14, 2), (21, 3), (28, 4)]
+#: 5 GB of float64 keys, normally distributed (§VI-D)
+FIG4_N = 5 * 2**30 // 8
+#: measured per-hardware-thread yield of 2 MPI ranks per core (the paper's
+#: "surprising benefit from hyperthreading with a heavy MPI stack" — smaller
+#: than TBB's thread yield because of the MPI stack)
+DASH_SMT_YIELD = 0.58
+
+
+def _dash_on_node(cores: int, n: int) -> float:
+    """Modelled DASH time on one node: 2 MPI ranks per core, binary merge."""
+    machine = single_node()
+    p = 2 * cores
+    pred = predict_histsort(
+        machine,
+        n,
+        p,
+        ranks_per_node=p,
+        rounds=40,  # float64 keys: ~2 log2(N) rounds, capped well below 64
+        merge_strategy="binary_tree",
+    )
+    # Two ranks share each core, so each compute-bound phase (already sized
+    # at n/p per rank) runs at the per-hardware-thread SMT yield; the
+    # exchange is memory/interconnect-bound and does not slow down.
+    compute_phases = pred.local_sort + pred.merge + pred.splitting + pred.other
+    return compute_phases / DASH_SMT_YIELD + pred.exchange
+
+
+def fig4_shared_memory(n: int = FIG4_N) -> Series:
+    """Fig. 4: DASH vs Intel PSTL (TBB) vs OpenMP-task merge sort.
+
+    Expected shape: TBB wins on one NUMA domain; DASH wins as soon as the
+    data spans NUMA boundaries, because it moves each element across
+    domains exactly once while merge sort re-touches data every pass.
+    """
+    machine = single_node()
+    series = Series(
+        experiment="fig4",
+        title="Shared-memory strong scaling on one node (5 GB float64, normal)",
+        columns=["cores", "numa_domains", "dash_s", "tbb_s", "openmp_s", "winner"],
+        params={"n": n, "machine": machine.name},
+        notes="paper: TBB ahead on 1 NUMA domain; DASH ahead on 2..4 domains",
+    )
+    for cores, domains in FIG4_POINTS:
+        tbb = parallel_mergesort_time(
+            machine, n, cores=cores, active_domains=domains, runtime="tbb", smt=2
+        ).seconds
+        omp = parallel_mergesort_time(
+            machine, n, cores=cores, active_domains=domains, runtime="openmp", smt=2
+        ).seconds
+        dash = _dash_on_node(cores, n)
+        winner = min(("dash", dash), ("tbb", tbb), ("openmp", omp), key=lambda x: x[1])[0]
+        series.add(
+            cores=cores, numa_domains=domains,
+            dash_s=dash, tbb_s=tbb, openmp_s=omp, winner=winner,
+        )
+    return series
+
+
+def merge_strategy_study(
+    n: int = 4 * 2**30 // 4,
+    ks: tuple[int, ...] = (4, 16, 64, 256, 1024),
+    threads: tuple[int, ...] = (2, 4, 8, 14, 28),
+) -> Series:
+    """§VI-E.2: k-way merging vs. re-sorting on one node.
+
+    Expected shape: with few large chunks and few threads, merging clearly
+    beats a parallel sort; with many small chunks and many threads, merging
+    degrades (cache-miss fan-in, bandwidth wall) and the parallel sort wins.
+    """
+    machine = single_node()
+    series = Series(
+        experiment="merge_study",
+        title="k-way merge strategies vs parallel re-sort (one node, int32)",
+        columns=["k", "threads", "binary_tree_s", "tournament_s", "sort_s", "winner"],
+        params={"n": n},
+        notes="paper: merging wins for few large chunks; parallel sort wins "
+        "for many small chunks with many threads",
+    )
+    for k in ks:
+        for t in threads:
+            tree = kway_merge_time(machine, n, k, threads=t, strategy="binary_tree", smt=2).seconds
+            tourney = kway_merge_time(machine, n, k, threads=t, strategy="tournament", smt=2).seconds
+            sort = kway_merge_time(machine, n, k, threads=t, strategy="sort", smt=2).seconds
+            winner = min(
+                ("binary_tree", tree), ("tournament", tourney), ("sort", sort),
+                key=lambda x: x[1],
+            )[0]
+            series.add(
+                k=k, threads=t, binary_tree_s=tree, tournament_s=tourney,
+                sort_s=sort, winner=winner,
+            )
+    return series

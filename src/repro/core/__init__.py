@@ -1,0 +1,40 @@
+"""The paper's contribution: distributed histogram sort and its pieces."""
+
+from .api import find_splitters, nth_element, sort, sorted_result
+from .config import SortConfig, SplitterConfig
+from .dselect import DSelectResult, dselect
+from .exchange import ExchangePlan, build_exchange_plan, exchange
+from .histsort import PHASES, SortResult, histogram_sort
+from .keys import PackError, PackSpec, pack_keys, plan_packing, unpack_keys
+from .merge import local_merge, merge_cost
+from .multiselect import SplitterConvergenceError, SplitterResult
+from .overlap import OverlapResult, exchange_merge_overlap, one_factor_partner
+
+__all__ = [
+    "DSelectResult",
+    "ExchangePlan",
+    "PHASES",
+    "PackError",
+    "PackSpec",
+    "SortConfig",
+    "SortResult",
+    "SplitterConfig",
+    "SplitterConvergenceError",
+    "SplitterResult",
+    "OverlapResult",
+    "build_exchange_plan",
+    "exchange_merge_overlap",
+    "one_factor_partner",
+    "dselect",
+    "exchange",
+    "find_splitters",
+    "histogram_sort",
+    "local_merge",
+    "merge_cost",
+    "nth_element",
+    "pack_keys",
+    "plan_packing",
+    "sort",
+    "sorted_result",
+    "unpack_keys",
+]

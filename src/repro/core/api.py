@@ -1,0 +1,82 @@
+"""Public API: ``sort``, ``nth_element``, ``find_splitters``.
+
+These mirror the paper's STL-like interface (``std::sort`` compatible entry
+point, ``dash::nth_element``).  All are collective: every rank of the
+communicator must call with its local partition.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .config import SortConfig, SplitterConfig
+from .dselect import dselect
+from .histsort import SortResult, histogram_sort
+from .multiselect import SplitterResult
+from .multiselect import find_splitters as _find_splitters
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..mpi import Comm
+
+__all__ = ["sort", "sorted_result", "nth_element", "find_splitters"]
+
+
+def sort(
+    comm: "Comm",
+    local: np.ndarray,
+    *,
+    eps: float = 0.0,
+    config: SortConfig | None = None,
+    capacities: Sequence[int] | None = None,
+) -> np.ndarray:
+    """Sort a distributed array; returns this rank's output partition.
+
+    The output satisfies the §II contract: each partition sorted, partition
+    boundaries globally ordered, the whole a permutation of the input, and
+    each rank holding its requested capacity within ``eps`` slack
+    (``eps=0``: *perfect partitioning*, exactly the input sizes).
+
+    >>> from repro.mpi import run_spmd
+    >>> import numpy as np, repro
+    >>> def program(comm):
+    ...     rng = np.random.default_rng(comm.rank)
+    ...     return repro.sort(comm, rng.integers(0, 10**9, 1000))
+    >>> parts = run_spmd(4, program)
+    """
+    if config is None:
+        config = SortConfig(eps=eps)
+    elif eps:
+        config = config.with_(eps=eps)
+    return histogram_sort(comm, local, config=config, capacities=capacities).output
+
+
+def sorted_result(
+    comm: "Comm",
+    local: np.ndarray,
+    *,
+    config: SortConfig | None = None,
+    capacities: Sequence[int] | None = None,
+) -> SortResult:
+    """Like :func:`sort` but returns the full :class:`SortResult` diagnostics."""
+    return histogram_sort(comm, local, config=config, capacities=capacities)
+
+
+def nth_element(comm: "Comm", local: np.ndarray, n: int):
+    """Value of the globally n-th smallest key (0-based); ``dash::nth_element``.
+
+    Uses distributed selection (Algorithm 1); no data moves.
+    """
+    return dselect(comm, local, n).value
+
+
+def find_splitters(
+    comm: "Comm",
+    local_sorted: np.ndarray,
+    capacities: Sequence[int] | None = None,
+    eps: float = 0.0,
+    config: SplitterConfig | None = None,
+) -> SplitterResult:
+    """Splitter determination only (Algorithm 3); see the module docs."""
+    return _find_splitters(comm, local_sorted, capacities=capacities, eps=eps, config=config)

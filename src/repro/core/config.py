@@ -1,0 +1,91 @@
+"""Configuration of the histogram sort and its splitter engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["SplitterConfig", "SortConfig"]
+
+_MERGE_STRATEGIES = ("sort", "binary_tree", "tournament", "adaptive")
+_GUESS_POLICIES = ("minmax", "sample")
+
+
+@dataclass(frozen=True)
+class SplitterConfig:
+    """Knobs of the multiselect splitter determination (Algorithms 2+3).
+
+    Attributes
+    ----------
+    initial_guess:
+        ``"minmax"`` starts every splitter at the midpoint of the global key
+        range (the paper's Algorithm 3).  ``"sample"`` seeds the first probe
+        vector from local regular samples (the "optimized initial guesses"
+        the paper mentions in §III-B/V-A).
+    sample_factor:
+        Regular samples drawn per rank for the ``"sample"`` policy.
+    cross_probe:
+        If True, every round tightens *all* splitter brackets against *all*
+        probe outcomes of that round, not just each splitter's own probe —
+        the multiselect refinement studied in ``bench_ablations.py``.
+    max_rounds:
+        Safety cap on histogramming iterations.
+    """
+
+    initial_guess: str = "minmax"
+    sample_factor: int = 8
+    cross_probe: bool = False
+    max_rounds: int = 512
+
+    def __post_init__(self) -> None:
+        if self.initial_guess not in _GUESS_POLICIES:
+            raise ValueError(
+                f"initial_guess must be one of {_GUESS_POLICIES}, got {self.initial_guess!r}"
+            )
+        if self.sample_factor < 1:
+            raise ValueError("sample_factor must be >= 1")
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+
+
+@dataclass(frozen=True)
+class SortConfig:
+    """Configuration of the full four-superstep histogram sort.
+
+    Attributes
+    ----------
+    eps:
+        Load-balance threshold (§II, Definition 1).  ``0.0`` is the paper's
+        *perfect partitioning* used in all of its benchmarks.
+    merge_strategy:
+        How received chunks are combined: ``"sort"`` (re-sort, the paper's
+        evaluated configuration), ``"binary_tree"``, ``"tournament"``, or
+        ``"adaptive"`` (tree for few chunks, re-sort for many small ones,
+        following the §VI-E.2 findings).
+    splitter:
+        The :class:`SplitterConfig` for the splitting phase.
+    uniquify:
+        Apply the packed composite-key transform (§V-A's ``(key, rank,
+        index)`` triple) before sorting.  Not required for correctness —
+        the tie-aware exchange handles duplicates — but provided for
+        fidelity; only valid for unsigned integer keys with headroom.
+    """
+
+    eps: float = 0.0
+    merge_strategy: str = "sort"
+    splitter: SplitterConfig = field(default_factory=SplitterConfig)
+    uniquify: bool = False
+    #: pipeline the exchange with pairwise merges over a 1-factor schedule
+    #: (the §VI-E.1 optimisation); replaces the merge phase entirely.
+    overlap_exchange: bool = False
+
+    def __post_init__(self) -> None:
+        if self.eps < 0:
+            raise ValueError("eps must be >= 0")
+        if self.merge_strategy not in _MERGE_STRATEGIES:
+            raise ValueError(
+                f"merge_strategy must be one of {_MERGE_STRATEGIES}, got {self.merge_strategy!r}"
+            )
+
+    def with_(self, **kwargs) -> "SortConfig":
+        """A copy with some fields replaced."""
+        return replace(self, **kwargs)

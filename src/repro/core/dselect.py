@@ -1,0 +1,102 @@
+"""Distributed selection — Algorithm 1 (DSELECT) of the paper.
+
+Finds the k-th order statistic of a distributed set without moving data:
+each round every rank contributes its local median, the *weighted median*
+of those medians (weights = partition sizes, Definition 2) becomes the
+pivot, and a global 3-way partition count decides which side holds rank
+``k``.  The weighted-median pivot discards at least one quarter of the
+working set per round, giving ``O(log P)`` rounds (§IV-B).
+
+This is the building block the sort generalizes into the multiselect, and
+it is exposed on its own as :func:`repro.nth_element` (the paper's
+``dash::nth_element``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..mpi.ops import SUM
+from ..seq.select import quickselect
+from ..seq.wmedian import weighted_median
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..mpi import Comm
+
+__all__ = ["DSelectResult", "dselect"]
+
+#: below this global size the remainder is gathered and solved sequentially
+_SEQUENTIAL_CUTOFF = 4096
+
+
+@dataclass(frozen=True)
+class DSelectResult:
+    """Value of the k-th order statistic plus convergence diagnostics."""
+
+    value: object
+    rounds: int
+    gathered_fallback: bool
+
+
+def dselect(comm: "Comm", local: np.ndarray, k: int, *, cutoff: int = _SEQUENTIAL_CUTOFF) -> DSelectResult:
+    """The k-th smallest key (0-based) of the distributed set.
+
+    Every rank must call collectively with its local partition (unsorted is
+    fine; empty partitions are fine).  All ranks receive the same result.
+    """
+    local = np.asarray(local)
+    if local.ndim != 1:
+        raise ValueError("local partition must be 1-D")
+    compute = comm.cost.compute
+
+    total = int(comm.allreduce(int(local.size)))
+    if not 0 <= k < total:
+        raise IndexError(f"k={k} out of range [0, {total})")
+
+    work = local
+    remaining = total
+    rounds = 0
+    while True:
+        if remaining <= max(cutoff, 1) or remaining <= comm.size:
+            # Communication would dominate: gather the residue and finish
+            # sequentially on rank 0 (§IV-B).
+            gathered = comm.gather(work, root=0)
+            if comm.rank == 0:
+                rest = np.concatenate([g for g in gathered if g.size])
+                comm.compute(compute.select(rest.size))
+                value = quickselect(rest, k)
+            else:
+                value = None
+            value = comm.bcast(value, root=0)
+            return DSelectResult(value=value, rounds=rounds, gathered_fallback=True)
+
+        rounds += 1
+        n_i = int(work.size)
+        if n_i:
+            median = quickselect(work, n_i // 2)
+            comm.compute(compute.select(n_i))
+        else:
+            median = None
+        pairs = comm.allgather((median, n_i))
+        meds = np.array([m for m, n in pairs if n > 0])
+        weights = np.array([n for m, n in pairs if n > 0], dtype=np.int64)
+        pivot = weighted_median(meds, weights)
+        comm.compute(compute.select(comm.size))
+
+        l_i = int(np.count_nonzero(work < pivot))
+        u_i = int(np.count_nonzero(work <= pivot))
+        comm.compute(compute.partition(n_i))
+        L, U = comm.allreduce((l_i, u_i), op=SUM)
+
+        if L <= k < U:
+            return DSelectResult(value=pivot, rounds=rounds, gathered_fallback=False)
+        if k < L:
+            work = work[work < pivot]
+            remaining = L
+        else:
+            work = work[work > pivot]
+            k -= U
+            remaining -= U

@@ -1,0 +1,93 @@
+"""Key uniquification — the ``(key, rank, index)`` transform of §V-A.
+
+The paper makes duplicate keys globally unique by extending each key with
+its origin rank and local index, which guarantees histogram convergence on
+duplicate-heavy inputs at the price of wider keys.  Our splitter engine does
+not *need* this (its acceptance test plus Algorithm 4's rank-order fill
+handle ties exactly), but the transform is provided for fidelity and as an
+option: it packs the triple into a single ``uint64``
+
+    [ key | rank | index ]
+
+when the three bit widths fit, so the packed keys still sort with a single
+``np.sort`` and compare correctly (key-major order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PackError", "PackSpec", "pack_keys", "unpack_keys", "plan_packing"]
+
+
+class PackError(ValueError):
+    """Keys/ranks/indices do not fit into 64 bits."""
+
+
+@dataclass(frozen=True)
+class PackSpec:
+    """Bit layout of a packed composite key."""
+
+    key_bits: int
+    rank_bits: int
+    index_bits: int
+
+    def __post_init__(self) -> None:
+        if self.key_bits + self.rank_bits + self.index_bits > 64:
+            raise PackError(
+                f"packed layout needs {self.key_bits}+{self.rank_bits}+"
+                f"{self.index_bits} > 64 bits"
+            )
+
+    @property
+    def shift_key(self) -> int:
+        return self.rank_bits + self.index_bits
+
+    @property
+    def shift_rank(self) -> int:
+        return self.index_bits
+
+
+def _bits_for(value: int) -> int:
+    return max(1, int(value).bit_length())
+
+
+def plan_packing(max_key: int, nranks: int, max_local: int) -> PackSpec:
+    """Choose a bit layout for the given key range / rank count / sizes."""
+    if max_key < 0:
+        raise PackError("packing requires non-negative keys")
+    return PackSpec(
+        key_bits=_bits_for(max_key),
+        rank_bits=_bits_for(max(nranks - 1, 0)),
+        index_bits=_bits_for(max(max_local - 1, 0)),
+    )
+
+
+def pack_keys(keys: np.ndarray, rank: int, spec: PackSpec) -> np.ndarray:
+    """Pack ``keys`` (unsigned ints) into unique ``uint64`` composites."""
+    keys = np.asarray(keys)
+    if keys.dtype.kind not in "iu":
+        raise PackError(f"can only pack integer keys, got dtype {keys.dtype}")
+    if keys.size and int(keys.min()) < 0:
+        raise PackError("can only pack non-negative keys")
+    if keys.size and _bits_for(int(keys.max())) > spec.key_bits:
+        raise PackError("key exceeds the planned key_bits")
+    if keys.size and _bits_for(keys.size - 1) > spec.index_bits:
+        raise PackError("local index exceeds the planned index_bits")
+    if _bits_for(rank) > spec.rank_bits and rank > 0:
+        raise PackError("rank exceeds the planned rank_bits")
+    k = keys.astype(np.uint64)
+    idx = np.arange(keys.size, dtype=np.uint64)
+    return (
+        (k << np.uint64(spec.shift_key))
+        | (np.uint64(rank) << np.uint64(spec.shift_rank))
+        | idx
+    )
+
+
+def unpack_keys(packed: np.ndarray, spec: PackSpec, dtype=np.uint64) -> np.ndarray:
+    """Recover the original keys from packed composites."""
+    packed = np.asarray(packed, dtype=np.uint64)
+    return (packed >> np.uint64(spec.shift_key)).astype(dtype)

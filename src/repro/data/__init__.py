@@ -1,0 +1,39 @@
+"""Workload generators and partition layouts."""
+
+from .generators import (
+    DISTRIBUTIONS,
+    all_equal_i64,
+    duplicates_i64,
+    exponential_f64,
+    make_partition,
+    nearly_sorted_i64,
+    normal_f32,
+    normal_f64,
+    uniform_u64,
+    zipf_u64,
+)
+from .partitions import (
+    balanced_sizes,
+    block_sizes,
+    geometric_sizes,
+    single_holder_sizes,
+    sparse_sizes,
+)
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "all_equal_i64",
+    "balanced_sizes",
+    "block_sizes",
+    "duplicates_i64",
+    "exponential_f64",
+    "geometric_sizes",
+    "make_partition",
+    "nearly_sorted_i64",
+    "normal_f32",
+    "normal_f64",
+    "single_holder_sizes",
+    "sparse_sizes",
+    "uniform_u64",
+    "zipf_u64",
+]

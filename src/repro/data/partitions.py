@@ -1,0 +1,60 @@
+"""Partition layouts: how many keys each rank contributes.
+
+The paper explicitly supports inputs where "a fraction of all processors do
+not contribute local elements" (sparse vectors/matrices, §VII); these
+layouts exercise that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "balanced_sizes",
+    "block_sizes",
+    "geometric_sizes",
+    "sparse_sizes",
+    "single_holder_sizes",
+]
+
+
+def balanced_sizes(total: int, p: int) -> np.ndarray:
+    """Near-equal split: first ranks get the remainder (MPI block layout)."""
+    if p < 1 or total < 0:
+        raise ValueError("need p >= 1, total >= 0")
+    base, rem = divmod(total, p)
+    return np.array([base + (1 if r < rem else 0) for r in range(p)], dtype=np.int64)
+
+
+def block_sizes(per_rank: int, p: int) -> np.ndarray:
+    """Every rank holds exactly ``per_rank`` keys (weak-scaling layout)."""
+    return np.full(p, per_rank, dtype=np.int64)
+
+
+def geometric_sizes(total: int, p: int, ratio: float = 0.7) -> np.ndarray:
+    """Strongly imbalanced layout: rank ``r`` holds ~``ratio**r`` of the rest."""
+    if not 0 < ratio <= 1:
+        raise ValueError("ratio must be in (0, 1]")
+    weights = np.power(ratio, np.arange(p))
+    raw = np.floor(total * weights / weights.sum()).astype(np.int64)
+    raw[0] += total - raw.sum()
+    return raw
+
+
+def sparse_sizes(total: int, p: int, every: int = 2) -> np.ndarray:
+    """Only every ``every``-th rank contributes keys; the rest are empty."""
+    if every < 1:
+        raise ValueError("every must be >= 1")
+    holders = [r for r in range(p) if r % every == 0]
+    sizes = np.zeros(p, dtype=np.int64)
+    sizes[holders] = balanced_sizes(total, len(holders))
+    return sizes
+
+
+def single_holder_sizes(total: int, p: int, holder: int = 0) -> np.ndarray:
+    """One rank holds everything (extreme sparsity)."""
+    if not 0 <= holder < p:
+        raise IndexError("holder out of range")
+    sizes = np.zeros(p, dtype=np.int64)
+    sizes[holder] = total
+    return sizes

@@ -1,0 +1,130 @@
+"""Machine presets.
+
+:func:`supermuc_phase2` reproduces Table I of the paper; the other presets
+are conveniences for tests and examples.
+"""
+
+from __future__ import annotations
+
+from .spec import ComputeSpec, Level, LinkSpec, MachineSpec, NodeSpec
+
+__all__ = ["supermuc_phase2", "laptop", "single_node", "abstract_cluster"]
+
+
+def supermuc_phase2(nodes: int = 512) -> MachineSpec:
+    """SuperMUC Phase 2 (LRZ) as described in Table I of the paper.
+
+    One island: 512 Haswell nodes, 2x Intel Xeon E5-2697v3 (14 cores each,
+    4 NUMA domains per node), 64 GB of which 56 GB usable, Infiniband FDR14
+    in a non-blocking fat tree with 5.1 TB/s peak bisection bandwidth.
+
+    The kernel constants are calibrated so that the weak-scaling baseline of
+    the paper (128 MB of ``uint64`` per rank, 28 ranks/node) lands near the
+    reported 2.3 s single-node runtime.
+    """
+    node = NodeSpec(
+        sockets=2,
+        numa_per_socket=2,
+        cores_per_numa=7,
+        threads_per_core=2,
+        mem_bytes=56 * 2**30,
+        cpu_model="E5-2697v3",
+        freq_ghz=2.6,
+    )
+    links = {
+        Level.NUMA: LinkSpec(latency=1.5e-7, bandwidth=10.0e9),
+        Level.SOCKET: LinkSpec(latency=2.5e-7, bandwidth=8.0e9),
+        Level.NODE: LinkSpec(latency=4.0e-7, bandwidth=6.5e9),
+        Level.NETWORK: LinkSpec(latency=1.7e-6, bandwidth=6.0e9),
+    }
+    compute = ComputeSpec(
+        c_sort=3.2e-9,
+        c_merge=1.6e-9,
+        c_partition=1.2e-9,
+        c_search=7.0e-9,
+        c_select=2.6e-9,
+        memcpy_bandwidth=6.5e9,
+        call_overhead=2.0e-7,
+    )
+    return MachineSpec(
+        name="SuperMUC Phase 2",
+        nodes=nodes,
+        node=node,
+        links=links,
+        compute=compute,
+        bisection_bandwidth=5.1e12,
+        network_name="Infiniband FDR14 (non-blocking fat tree)",
+    )
+
+
+def single_node(cores_per_numa: int = 7, numa_domains: int = 4) -> MachineSpec:
+    """One SuperMUC-style node, for the shared-memory study (Fig. 4)."""
+    if numa_domains % 2 == 0:
+        sockets, per_socket = 2, numa_domains // 2
+    else:
+        sockets, per_socket = 1, numa_domains
+    node = NodeSpec(
+        sockets=sockets,
+        numa_per_socket=per_socket,
+        cores_per_numa=cores_per_numa,
+        cpu_model="E5-2697v3",
+    )
+    base = supermuc_phase2(nodes=1)
+    links = {lv: sp for lv, sp in base.links.items() if lv != Level.NETWORK}
+    return MachineSpec(
+        name="SuperMUC node",
+        nodes=1,
+        node=node,
+        links=links,
+        compute=base.compute,
+        bisection_bandwidth=40e9,
+        network_name="(single node)",
+    )
+
+
+def laptop(cores: int = 8) -> MachineSpec:
+    """A small single-socket machine for examples and quick tests."""
+    node = NodeSpec(
+        sockets=1,
+        numa_per_socket=1,
+        cores_per_numa=cores,
+        mem_bytes=16 * 2**30,
+        cpu_model="laptop",
+        freq_ghz=3.0,
+    )
+    links = {Level.NUMA: LinkSpec(latency=1.0e-7, bandwidth=10.0e9)}
+    return MachineSpec(
+        name="laptop",
+        nodes=1,
+        node=node,
+        links=links,
+        bisection_bandwidth=40e9,
+        network_name="(single node)",
+    )
+
+
+def abstract_cluster(
+    nodes: int,
+    cores_per_node: int = 16,
+    net_latency: float = 2.0e-6,
+    net_bandwidth: float = 5.0e9,
+) -> MachineSpec:
+    """A flat cluster with one NUMA domain per node — minimal knob surface."""
+    node = NodeSpec(
+        sockets=1,
+        numa_per_socket=1,
+        cores_per_numa=cores_per_node,
+        cpu_model="abstract",
+    )
+    links = {
+        Level.NUMA: LinkSpec(latency=2.0e-7, bandwidth=8.0e9),
+        Level.NETWORK: LinkSpec(latency=net_latency, bandwidth=net_bandwidth),
+    }
+    return MachineSpec(
+        name=f"abstract-{nodes}n",
+        nodes=nodes,
+        node=node,
+        links=links,
+        bisection_bandwidth=net_bandwidth * nodes / 2,
+        network_name="abstract",
+    )

@@ -1,0 +1,207 @@
+"""Machine specifications: nodes, NUMA topology, link and kernel constants.
+
+A :class:`MachineSpec` is a purely declarative description of a cluster.  It
+is consumed by :mod:`repro.machine.cost` to price communication and compute
+operations in *virtual time*, and by :mod:`repro.machine.topology` to place
+ranks onto cores.
+
+The default presets live in :mod:`repro.machine.presets`; the most important
+one is :func:`repro.machine.presets.supermuc_phase2`, which mirrors Table I
+of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+
+class Level(enum.IntEnum):
+    """Locality level of a pair of ranks, ordered from closest to farthest."""
+
+    SELF = 0      #: the same rank (loop-back)
+    NUMA = 1      #: same NUMA domain
+    SOCKET = 2    #: same socket, different NUMA domain
+    NODE = 3      #: same node, different socket
+    NETWORK = 4   #: different nodes
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """An :math:`\\alpha`-:math:`\\beta` cost description of one locality level.
+
+    ``latency`` is the per-message overhead in seconds and ``bandwidth`` the
+    sustained point-to-point bandwidth in bytes per second.
+    """
+
+    latency: float
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {self.bandwidth}")
+
+    @property
+    def beta(self) -> float:
+        """Seconds per byte."""
+        return 1.0 / self.bandwidth
+
+    def cost(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` once over this link."""
+        return self.latency + nbytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Per-node hardware description."""
+
+    sockets: int = 2
+    numa_per_socket: int = 2
+    cores_per_numa: int = 7
+    threads_per_core: int = 2
+    mem_bytes: int = 56 * 2**30
+    cpu_model: str = "generic"
+    freq_ghz: float = 2.6
+
+    def __post_init__(self) -> None:
+        for name in ("sockets", "numa_per_socket", "cores_per_numa", "threads_per_core"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.mem_bytes <= 0:
+            raise ValueError("mem_bytes must be > 0")
+
+    @property
+    def numa_domains(self) -> int:
+        return self.sockets * self.numa_per_socket
+
+    @property
+    def cores(self) -> int:
+        return self.numa_domains * self.cores_per_numa
+
+    @property
+    def hw_threads(self) -> int:
+        return self.cores * self.threads_per_core
+
+
+@dataclass(frozen=True)
+class ComputeSpec:
+    """Per-element kernel constants, in seconds.
+
+    The constants price the sequential kernels the sort is built from.  They
+    are deliberately coarse (a single constant per kernel family); the
+    calibration helpers in :mod:`repro.model.calibrate` can refit them from
+    measured runs.
+    """
+
+    #: comparison-sort constant: ``sort(n) = c_sort * n * log2(n)``
+    c_sort: float = 3.0e-9
+    #: per-element cost of one binary-merge pass
+    c_merge: float = 1.5e-9
+    #: per-element cost of a 3-way partition / scan pass
+    c_partition: float = 1.2e-9
+    #: per-probe binary search: ``c_search * log2(n)``
+    c_search: float = 6.0e-9
+    #: linear-time selection constant (quickselect expected cost per element)
+    c_select: float = 2.5e-9
+    #: local memory copy bandwidth in bytes/s (single core, streaming)
+    memcpy_bandwidth: float = 6.0e9
+    #: fixed per-call software overhead of any kernel invocation
+    call_overhead: float = 2.0e-7
+
+    def sort(self, n: int, itemsize: int = 8) -> float:
+        """Modelled time of a comparison sort of ``n`` items."""
+        if n <= 1:
+            return self.call_overhead
+        return self.call_overhead + self.c_sort * n * math.log2(n)
+
+    def merge_pass(self, n: int) -> float:
+        """One pass of a two-way merge over ``n`` total items."""
+        return self.call_overhead + self.c_merge * max(n, 0)
+
+    def kway_merge(self, n: int, k: int) -> float:
+        """Binary merge tree over ``k`` runs totalling ``n`` items."""
+        if n <= 0 or k <= 1:
+            return self.call_overhead
+        passes = math.ceil(math.log2(k))
+        return self.call_overhead + self.c_merge * n * passes
+
+    def partition(self, n: int) -> float:
+        return self.call_overhead + self.c_partition * max(n, 0)
+
+    def search(self, nprobes: int, n: int) -> float:
+        """``nprobes`` binary searches over a sorted run of length ``n``."""
+        if nprobes <= 0:
+            return self.call_overhead
+        return self.call_overhead + self.c_search * nprobes * math.log2(max(n, 2))
+
+    def select(self, n: int) -> float:
+        """Expected quickselect cost on ``n`` items."""
+        return self.call_overhead + self.c_select * max(n, 0)
+
+    def memcpy(self, nbytes: float) -> float:
+        return self.call_overhead + max(nbytes, 0) / self.memcpy_bandwidth
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A cluster: homogeneous nodes joined by a network.
+
+    ``links`` maps every :class:`Level` to a :class:`LinkSpec`.  Missing
+    levels inherit the next-farther level's spec (i.e. a machine defined only
+    with ``NODE`` and ``NETWORK`` treats NUMA/SOCKET traffic at NODE cost).
+    """
+
+    name: str
+    nodes: int
+    node: NodeSpec = field(default_factory=NodeSpec)
+    links: Mapping[Level, LinkSpec] = field(default_factory=dict)
+    compute: ComputeSpec = field(default_factory=ComputeSpec)
+    #: aggregate bisection bandwidth of the interconnect, bytes/s
+    bisection_bandwidth: float = 5.1e12
+    network_name: str = "generic"
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if Level.NETWORK not in self.links and self.nodes > 1:
+            raise ValueError("multi-node machine requires a NETWORK link spec")
+        if self.bisection_bandwidth <= 0:
+            raise ValueError("bisection_bandwidth must be > 0")
+
+    def link(self, level: Level) -> LinkSpec:
+        """The link spec for ``level``, inheriting from farther levels."""
+        if level == Level.SELF and Level.SELF not in self.links:
+            # Loop-back defaults to a fast memcpy-like link.
+            return LinkSpec(latency=5.0e-8, bandwidth=self.compute.memcpy_bandwidth * 2)
+        for lv in range(int(level), int(Level.NETWORK) + 1):
+            spec = self.links.get(Level(lv))
+            if spec is not None:
+                return spec
+        raise KeyError(f"no link spec at or above level {level!r}")
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.node.cores
+
+    def with_nodes(self, nodes: int) -> "MachineSpec":
+        """A copy of this machine with a different node count."""
+        return replace(self, nodes=nodes)
+
+    def describe(self) -> str:
+        """Human-readable multi-line description (Table I style)."""
+        n = self.node
+        rows = [
+            ("Machine", self.name),
+            ("Nodes", str(self.nodes)),
+            ("CPU", f"{n.sockets} x {n.cpu_model}"),
+            ("Cores/node", f"{n.cores} ({n.numa_domains} NUMA domains x {n.cores_per_numa} cores)"),
+            ("Memory/node", f"{n.mem_bytes / 2**30:.0f}GB usable"),
+            ("Network", self.network_name),
+            ("Bisection BW", f"{self.bisection_bandwidth / 1e12:.1f} TB/s"),
+        ]
+        width = max(len(k) for k, _ in rows)
+        return "\n".join(f"{k:<{width}}  {v}" for k, v in rows)

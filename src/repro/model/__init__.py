@@ -1,0 +1,13 @@
+"""Analytic phase models and calibration against executed runs."""
+
+from .calibrate import ModelFit, fit_round_count, validate_model
+from .phases import PhasePrediction, predict_histsort, predict_hss
+
+__all__ = [
+    "ModelFit",
+    "PhasePrediction",
+    "fit_round_count",
+    "predict_histsort",
+    "predict_hss",
+    "validate_model",
+]

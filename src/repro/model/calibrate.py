@@ -1,0 +1,70 @@
+"""Calibration: fit the closed-form model against executed runs.
+
+The analytic model and the executing runtime share one cost model, so at
+any scale both can run they should agree closely.  :func:`validate_model`
+quantifies the residual; :func:`fit_round_count` extracts the histogramming
+round count (a key-width property) from small executed runs so paper-scale
+predictions use measured convergence behaviour rather than an assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.histsort import SortResult
+from ..machine.spec import MachineSpec
+from .phases import PhasePrediction, predict_histsort
+
+__all__ = ["ModelFit", "fit_round_count", "validate_model"]
+
+
+@dataclass(frozen=True)
+class ModelFit:
+    """Agreement between executed and predicted phase totals."""
+
+    executed_total: float
+    predicted_total: float
+
+    @property
+    def ratio(self) -> float:
+        if self.executed_total <= 0:
+            return float("inf") if self.predicted_total > 0 else 1.0
+        return self.predicted_total / self.executed_total
+
+
+def fit_round_count(results: Sequence[SortResult]) -> int:
+    """Median histogramming round count over executed runs."""
+    rounds = [r.rounds for r in results]
+    if not rounds:
+        raise ValueError("no results to fit")
+    return int(np.median(rounds))
+
+
+def validate_model(
+    machine: MachineSpec,
+    executed: Sequence[SortResult],
+    n_total: int,
+    p: int,
+    *,
+    ranks_per_node: int,
+    itemsize: int = 8,
+    merge_strategy: str = "sort",
+) -> ModelFit:
+    """Compare max-over-ranks executed phase totals with the prediction."""
+    if not executed:
+        raise ValueError("no executed results")
+    per_rank_totals = [sum(r.phases.values()) for r in executed]
+    executed_total = float(max(per_rank_totals))
+    pred: PhasePrediction = predict_histsort(
+        machine,
+        n_total,
+        p,
+        ranks_per_node=ranks_per_node,
+        rounds=fit_round_count(executed),
+        itemsize=itemsize,
+        merge_strategy=merge_strategy,
+    )
+    return ModelFit(executed_total=executed_total, predicted_total=pred.total)

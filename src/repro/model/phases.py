@@ -1,0 +1,186 @@
+"""Closed-form phase models for paper-scale prediction.
+
+The in-process runtime executes the real algorithm and prices it in virtual
+time, but holding 2^31 keys × 3584 ranks in one address space is not
+possible; these closed forms evaluate the same cost model symbolically so
+the benchmark harness can extend executed series to the paper's full scale
+(128 nodes / 3584 cores, 256 GB).  The formulas mirror §V's complexity
+analysis:
+
+* local sort: ``c_sort · (N/P) · log2(N/P)``
+* splitting:  ``rounds × (allreduce(2·(P-1)·8 B) + binary-search histogram)``
+  — ``rounds`` tracks the key width, not P (§V-A), and is taken from
+  executed runs of the same key type;
+* exchange:   one ALL-TO-ALLV of the full volume, priced per locality level
+  with the bisection-bandwidth floor;
+* merge:      strategy-dependent (re-sort in the paper's configuration);
+* other:      the O(p²)-volume bound/permutation exchanges of Algorithm 4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..machine.cost import CostModel
+from ..machine.spec import Level, MachineSpec
+from ..machine.topology import make_placement
+from ..core.merge import merge_cost
+
+__all__ = ["PhasePrediction", "predict_histsort", "predict_hss"]
+
+
+@dataclass(frozen=True)
+class PhasePrediction:
+    """Per-phase modelled seconds for one (N, P) point."""
+
+    local_sort: float
+    splitting: float
+    exchange: float
+    merge: float
+    other: float
+
+    @property
+    def total(self) -> float:
+        return self.local_sort + self.splitting + self.exchange + self.merge + self.other
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "local_sort": self.local_sort,
+            "splitting": self.splitting,
+            "exchange": self.exchange,
+            "merge": self.merge,
+            "other": self.other,
+        }
+
+
+def predict_histsort(
+    machine: MachineSpec,
+    n_total: int,
+    p: int,
+    *,
+    ranks_per_node: int,
+    rounds: int,
+    itemsize: int = 8,
+    merge_strategy: str = "sort",
+    use_shm: bool = True,
+) -> PhasePrediction:
+    """Modelled phase times of the histogram sort at scale ``(N, P)``."""
+    if p < 1 or n_total < 0:
+        raise ValueError("need p >= 1 and n_total >= 0")
+    placement = make_placement(machine, p, ranks_per_node)
+    cost = CostModel(placement, use_shm=use_shm)
+    compute = machine.compute
+    ranks = list(range(p))
+    n_local = n_total / p
+
+    local_sort = compute.sort(int(n_local), itemsize)
+
+    # Splitting: per round one 2(P-1)-entry int64 allreduce plus the local
+    # histogram binary searches and validation.
+    per_round = (
+        cost.allreduce(2 * max(p - 1, 1) * 8, ranks)
+        + compute.search(2 * max(p - 1, 1), max(int(n_local), 2))
+        + compute.call_overhead
+        + 2.0e-9 * max(p - 1, 1)
+    )
+    splitting = rounds * per_round + cost.allreduce(16, ranks)
+
+    # Exchange: with a random input every rank sends ~(1 - 1/P) of its data,
+    # spread uniformly over the other ranks; locality splits the volume into
+    # intra-node (memcpy-priced under shm) and network shares.
+    rpn = placement.ranks_per_node
+    send_bytes = n_local * itemsize * (1.0 - 1.0 / p)
+    if p > 1:
+        intra_frac = (rpn - 1) / (p - 1)
+    else:
+        intra_frac = 1.0
+    if use_shm:
+        intra_link = machine.link(Level.NODE)
+    else:
+        # priced as MPI loop-back (ablation)
+        node = machine.link(Level.NODE)
+        intra_link = type(node)(latency=node.latency * 4, bandwidth=node.bandwidth * 0.5)
+    net_link = machine.link(Level.NETWORK) if machine.nodes > 1 else intra_link
+    # NIC sharing (all ranks of a node drive the network concurrently) and
+    # the measured MPI_Alltoallv bulk-payload inefficiency.
+    net_beta = net_link.beta * min(rpn, p) * cost.alltoallv_inefficiency
+    per_rank = (
+        send_bytes * intra_frac * intra_link.beta
+        + send_bytes * (1.0 - intra_frac) * net_beta
+        + (p - 1) * (intra_frac * intra_link.latency + (1 - intra_frac) * net_link.latency)
+    )
+    cross_total = n_total * itemsize * (1.0 - intra_frac)
+    floor = cross_total / machine.bisection_bandwidth
+    exchange = max(per_rank, floor) + cost.software_overhead
+
+    merge = merge_cost(compute, int(n_local), min(p, max(int(n_local), 1)), merge_strategy)
+
+    # Other: exchange preparation — bound histogram, the rank-order-fill
+    # EXCLUSIVE_SCAN, and the send-count ALL-TO-ALL (O(p) volume per rank).
+    other = (
+        cost.scan(max(p - 1, 1) * 8, ranks)
+        + cost.alltoall(8, ranks)
+        + compute.search(2 * max(p - 1, 1), max(int(n_local), 2))
+        + compute.partition(2 * p)
+    )
+
+    return PhasePrediction(
+        local_sort=local_sort,
+        splitting=splitting,
+        exchange=exchange,
+        merge=merge,
+        other=other,
+    )
+
+
+def predict_hss(
+    machine: MachineSpec,
+    n_total: int,
+    p: int,
+    *,
+    ranks_per_node: int,
+    rounds: int,
+    cand_per_round: float,
+    itemsize: int = 8,
+    use_shm: bool = True,
+) -> PhasePrediction:
+    """Modelled phases of Histogram Sort with Sampling at scale ``(N, P)``.
+
+    ``rounds`` and ``cand_per_round`` (the candidate-vector size the sampled
+    refinement histograms each round) are measured from executed runs —
+    they carry HSS's volatility into the prediction.
+    """
+    # Both implementations use a single-threaded STL sort for the local
+    # phases (§VI-B), so everything but the splitting phase matches DASH.
+    base = predict_histsort(
+        machine,
+        n_total,
+        p,
+        ranks_per_node=ranks_per_node,
+        rounds=0,
+        itemsize=itemsize,
+        merge_strategy="sort",
+        use_shm=use_shm,
+    )
+    placement = make_placement(machine, p, ranks_per_node)
+    cost = CostModel(placement, use_shm=use_shm)
+    compute = machine.compute
+    ranks = list(range(p))
+    n_local = max(int(n_total / p), 2)
+    cand = max(cand_per_round, 1.0)
+    per_round = (
+        cost.allgather(cand * itemsize / p, ranks)      # sampled proposals
+        + compute.sort(int(cand))                        # candidate dedup/sort
+        + compute.search(int(2 * cand), n_local)         # local histogram
+        + cost.allreduce(2 * cand * 8, ranks)            # global histogram
+        + compute.call_overhead
+    )
+    splitting = rounds * per_round + cost.allreduce(16, ranks)
+    return PhasePrediction(
+        local_sort=base.local_sort,
+        splitting=splitting,
+        exchange=base.exchange,
+        merge=base.merge,
+        other=base.other,
+    )

@@ -1,0 +1,48 @@
+"""In-process SPMD message-passing runtime (the MPI/PGAS substitute).
+
+One thread per rank, mpi4py-like communicator API, deterministic collective
+semantics, and virtual-time accounting via :mod:`repro.machine`.
+
+Quick start::
+
+    from repro.mpi import run_spmd
+
+    def program(comm):
+        part = comm.rank * 10
+        total = comm.allreduce(part)
+        return total
+
+    print(run_spmd(4, program))
+"""
+
+from .comm import ANY_SOURCE, ANY_TAG, Comm
+from .errors import Aborted, CommunicatorError, SPMDError
+from .ops import LAND, LOR, MAX, MAXLOC, MIN, MINLOC, PROD, SUM, ReduceOp
+from .payload import copy_payload, payload_nbytes
+from .requests import Request, waitall
+from .runtime import Runtime, Stats, run_spmd
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Aborted",
+    "Comm",
+    "CommunicatorError",
+    "LAND",
+    "LOR",
+    "MAX",
+    "MAXLOC",
+    "MIN",
+    "MINLOC",
+    "PROD",
+    "ReduceOp",
+    "Request",
+    "Runtime",
+    "SPMDError",
+    "SUM",
+    "Stats",
+    "copy_payload",
+    "payload_nbytes",
+    "run_spmd",
+    "waitall",
+]

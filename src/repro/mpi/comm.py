@@ -1,0 +1,509 @@
+"""Communicators: the rank-facing API of the SPMD runtime.
+
+A :class:`Comm` is one rank's handle on a communicator.  The API follows
+mpi4py's lowercase object interface (``send``/``recv``/``bcast``/``allreduce``
+/ ``alltoallv`` / ``split`` ...), and every call advances the calling rank's
+*virtual clock* according to the machine's cost model.
+
+Implementation notes
+--------------------
+Collectives use a deposit / leader / extract protocol around a cyclic
+three-phase barrier:
+
+1. every rank writes its contribution into its slot and enters barrier A;
+2. the leader (the rank that drew index 0 at barrier A) combines the slots
+   and computes the group's new virtual clocks, then everyone passes B;
+3. every rank reads its result and its new clock, then everyone passes C so
+   the slots may be reused by the next collective.
+
+This is deterministic in values (combines fold in rank order) and matches
+MPI's requirement that all ranks issue collectives in the same order.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .errors import Aborted, CommunicatorError
+from .ops import SUM, ReduceOp
+from .payload import copy_payload, payload_nbytes
+from .requests import Request, _DoneRequest, _IRecvRequest
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass
+class _Message:
+    src: int          # group rank of the sender
+    tag: int
+    payload: Any
+    departure: float  # sender's virtual clock when the message left
+    nbytes: int
+
+
+class _Mailbox:
+    """Per-rank FIFO of in-flight messages with a condition variable."""
+
+    def __init__(self) -> None:
+        self.cond = threading.Condition()
+        self.messages: list[_Message] = []
+
+    def find(self, source: int, tag: int, *, remove: bool) -> _Message | None:
+        """First message matching (source, tag); wildcards are ``-1``."""
+        for i, m in enumerate(self.messages):
+            if (source == ANY_SOURCE or m.src == source) and (
+                tag == ANY_TAG or m.tag == tag
+            ):
+                return self.messages.pop(i) if remove else m
+        return None
+
+
+class _CommState:
+    """State shared by all ranks of one communicator."""
+
+    def __init__(self, runtime, world_ranks: Sequence[int]):
+        self.runtime = runtime
+        self.world_ranks: list[int] = [int(r) for r in world_ranks]
+        self.size = len(self.world_ranks)
+        self.barrier = threading.Barrier(self.size)
+        self.slots: list[Any] = [None] * self.size
+        self.cell: Any = None
+        self.mailboxes = [_Mailbox() for _ in range(self.size)]
+        self.aborted = False
+        runtime._register_state(self)
+
+    def abort(self) -> None:
+        self.aborted = True
+        self.barrier.abort()
+        for mb in self.mailboxes:
+            with mb.cond:
+                mb.cond.notify_all()
+
+    def collective(
+        self,
+        idx: int,
+        deposit: Any,
+        leader_fn: Callable[[list[Any]], Any],
+        extract_fn: Callable[[list[Any], Any, int], Any],
+    ) -> Any:
+        if self.aborted:
+            raise Aborted("communicator already aborted")
+        self.slots[idx] = deposit
+        try:
+            who = self.barrier.wait()
+            if who == 0:
+                try:
+                    self.cell = leader_fn(self.slots)
+                except BaseException:
+                    self.runtime.abort()
+                    raise
+            self.barrier.wait()
+            try:
+                out = extract_fn(self.slots, self.cell, idx)
+            except BaseException:
+                self.runtime.abort()
+                raise
+            self.barrier.wait()
+        except threading.BrokenBarrierError:
+            raise Aborted("runtime aborted during a collective") from None
+        return out
+
+
+class Comm:
+    """One rank's handle on a communicator."""
+
+    def __init__(self, state: _CommState, rank: int):
+        self._state = state
+        self._rank = rank
+        self._rt = state.runtime
+
+    # ------------------------------------------------------------- identity
+
+    @property
+    def rank(self) -> int:
+        """This rank's index within the communicator."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return self._state.size
+
+    @property
+    def world_rank(self) -> int:
+        """This rank's index in the world communicator."""
+        return self._state.world_ranks[self._rank]
+
+    @property
+    def world_ranks(self) -> list[int]:
+        """World ranks of all members, indexed by group rank."""
+        return list(self._state.world_ranks)
+
+    @property
+    def cost(self):
+        """The runtime's :class:`~repro.machine.cost.CostModel`."""
+        return self._rt.cost
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Comm rank {self._rank}/{self.size} (world {self.world_rank})>"
+
+    # ---------------------------------------------------------- virtual time
+
+    @property
+    def clock(self) -> float:
+        """This rank's virtual clock, in seconds."""
+        return float(self._rt.clocks[self.world_rank])
+
+    @clock.setter
+    def clock(self, value: float) -> None:
+        self._rt.clocks[self.world_rank] = value
+
+    def compute(self, seconds: float) -> None:
+        """Charge ``seconds`` of modelled local compute to this rank."""
+        if seconds < 0:
+            raise ValueError("compute time must be >= 0")
+        self._rt.clocks[self.world_rank] += seconds
+        self._rt.stats.compute_time[self.world_rank] += seconds
+
+    # ------------------------------------------------------------------- p2p
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Buffered (eager) send: never blocks."""
+        self._check_peer(dest)
+        nbytes = payload_nbytes(obj)
+        departure = self.clock + self._rt.cost.software_overhead
+        self.clock = departure
+        msg = _Message(self._rank, tag, copy_payload(obj), departure, nbytes)
+        self._rt.stats.record_send(self.world_rank, nbytes)
+        mb = self._state.mailboxes[dest]
+        with mb.cond:
+            mb.messages.append(msg)
+            mb.cond.notify_all()
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        *,
+        return_status: bool = False,
+    ) -> Any:
+        """Blocking receive; with ``return_status`` returns ``(obj, (src, tag))``."""
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        mb = self._state.mailboxes[self._rank]
+        with mb.cond:
+            while True:
+                if self._state.aborted:
+                    raise Aborted("runtime aborted during recv")
+                msg = mb.find(source, tag, remove=True)
+                if msg is not None:
+                    break
+                mb.cond.wait()
+        cost = self._rt.cost.ptp(
+            self._state.world_ranks[msg.src], self.world_rank, msg.nbytes
+        )
+        self.clock = max(self.clock, msg.departure + cost)
+        if return_status:
+            return msg.payload, (msg.src, msg.tag)
+        return msg.payload
+
+    def sendrecv(
+        self, obj: Any, dest: int, source: int | None = None, tag: int = 0
+    ) -> Any:
+        """Combined exchange; safe against deadlock because sends are eager."""
+        if source is None:
+            source = dest
+        self.send(obj, dest, tag)
+        return self.recv(source, tag)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        self.send(obj, dest, tag)
+        return _DoneRequest()
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        return _IRecvRequest(self, source, tag)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Non-blocking check whether a matching message is pending."""
+        mb = self._state.mailboxes[self._rank]
+        with mb.cond:
+            return mb.find(source, tag, remove=False) is not None
+
+    # ------------------------------------------------------------ collectives
+
+    def _entry_clocks(self, slots_world: Sequence[int]) -> np.ndarray:
+        return self._rt.clocks[slots_world]
+
+    def _simple_collective(
+        self,
+        name: str,
+        deposit: Any,
+        combine: Callable[[list[Any]], Any],
+        cost_fn: Callable[[list[Any]], Any],
+        *,
+        result_for_all: bool = True,
+        root: int | None = None,
+    ) -> Any:
+        """Collective with a uniform (or per-rank) cost and one combined value."""
+        state = self._state
+        wr = state.world_ranks
+        rt = self._rt
+
+        def leader(slots: list[Any]) -> Any:
+            entry = rt.clocks[wr]
+            cost = cost_fn(slots)
+            newclocks = entry.max() + np.asarray(cost, dtype=np.float64)
+            total_bytes = sum(payload_nbytes(s) for s in slots)
+            rt.stats.record_collective(name, total_bytes, state.size)
+            return combine(slots), newclocks
+
+        def extract(slots: list[Any], cell: Any, idx: int) -> Any:
+            result, newclocks = cell
+            nc = newclocks if np.ndim(newclocks) == 0 else newclocks[idx]
+            rt.clocks[wr[idx]] = nc
+            if root is not None and idx != root:
+                return None
+            return copy_payload(result) if result_for_all else result
+
+        return state.collective(self._rank, deposit, leader, extract)
+
+    def barrier(self) -> None:
+        """Synchronize all ranks (and their virtual clocks)."""
+        ranks = self._state.world_ranks
+        self._simple_collective(
+            "barrier", None, lambda s: None, lambda s: self._rt.cost.barrier(ranks)
+        )
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        self._check_peer(root)
+        ranks = self._state.world_ranks
+        deposit = obj if self._rank == root else None
+        return self._simple_collective(
+            "bcast",
+            deposit,
+            lambda s: s[root],
+            lambda s: self._rt.cost.bcast(payload_nbytes(s[root]), ranks),
+        )
+
+    def reduce(self, value: Any, op: ReduceOp = SUM, root: int = 0) -> Any:
+        self._check_peer(root)
+        ranks = self._state.world_ranks
+        return self._simple_collective(
+            "reduce",
+            value,
+            lambda s: functools.reduce(op, s),
+            lambda s: self._rt.cost.reduce(payload_nbytes(s[0]), ranks),
+            root=root,
+        )
+
+    def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
+        ranks = self._state.world_ranks
+        return self._simple_collective(
+            "allreduce",
+            value,
+            lambda s: functools.reduce(op, s),
+            lambda s: self._rt.cost.allreduce(payload_nbytes(s[0]), ranks),
+        )
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        self._check_peer(root)
+        ranks = self._state.world_ranks
+        return self._simple_collective(
+            "gather",
+            value,
+            lambda s: list(s),
+            lambda s: self._rt.cost.gather(payload_nbytes(s[0]), ranks),
+            root=root,
+        )
+
+    def allgather(self, value: Any) -> list[Any]:
+        ranks = self._state.world_ranks
+        return self._simple_collective(
+            "allgather",
+            value,
+            lambda s: list(s),
+            lambda s: self._rt.cost.allgather(payload_nbytes(s[0]), ranks),
+        )
+
+    def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Any:
+        self._check_peer(root)
+        ranks = self._state.world_ranks
+        size = self.size
+        if self._rank == root:
+            if values is None or len(values) != size:
+                raise CommunicatorError(
+                    f"scatter at root needs exactly {size} values"
+                )
+        state = self._state
+        rt = self._rt
+
+        def leader(slots: list[Any]) -> Any:
+            vals = slots[root]
+            entry = rt.clocks[ranks]
+            per = payload_nbytes(vals) / max(size, 1)
+            cost = rt.cost.scatter(per, ranks)
+            rt.stats.record_collective("scatter", payload_nbytes(vals), size)
+            return vals, entry.max() + cost
+
+        def extract(slots: list[Any], cell: Any, idx: int) -> Any:
+            vals, newclock = cell
+            rt.clocks[ranks[idx]] = newclock
+            return copy_payload(vals[idx])
+
+        return state.collective(self._rank, values if self._rank == root else None, leader, extract)
+
+    def alltoall(self, values: Sequence[Any]) -> list[Any]:
+        """Personalized exchange of one payload per peer."""
+        if len(values) != self.size:
+            raise CommunicatorError(f"alltoall needs {self.size} values")
+        state = self._state
+        ranks = state.world_ranks
+        rt = self._rt
+
+        def leader(slots: list[Any]) -> Any:
+            entry = rt.clocks[ranks]
+            total = sum(payload_nbytes(row) for row in slots)
+            per_pair = total / max(state.size**2, 1)
+            cost = rt.cost.alltoall(per_pair, ranks)
+            rt.stats.record_collective("alltoall", total, state.size)
+            return entry.max() + cost
+
+        def extract(slots: list[Any], newclock: float, idx: int) -> list[Any]:
+            rt.clocks[ranks[idx]] = newclock
+            return [copy_payload(slots[j][idx]) for j in range(state.size)]
+
+        return state.collective(self._rank, list(values), leader, extract)
+
+    def alltoallv(self, chunks: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Irregular personalized exchange of NumPy arrays.
+
+        ``chunks[j]`` is what this rank sends to group rank ``j``; the return
+        value is the list of arrays received, indexed by source rank.  Costs
+        come from :meth:`CostModel.alltoallv_per_rank` over the full volume
+        matrix.
+        """
+        if len(chunks) != self.size:
+            raise CommunicatorError(f"alltoallv needs {self.size} chunks")
+        chunks = [np.asarray(c) for c in chunks]
+        state = self._state
+        ranks = state.world_ranks
+        rt = self._rt
+
+        def leader(slots: list[Any]) -> Any:
+            entry = rt.clocks[ranks]
+            vols = np.array(
+                [[c.nbytes for c in row] for row in slots], dtype=np.float64
+            )
+            per_rank = rt.cost.alltoallv_per_rank(vols, ranks)
+            rt.stats.record_collective("alltoallv", float(vols.sum()), state.size)
+            return entry.max() + per_rank
+
+        def extract(slots: list[Any], newclocks: np.ndarray, idx: int) -> list[np.ndarray]:
+            rt.clocks[ranks[idx]] = newclocks[idx]
+            return [slots[j][idx].copy() for j in range(state.size)]
+
+        return state.collective(self._rank, chunks, leader, extract)
+
+    def scan(self, value: Any, op: ReduceOp = SUM) -> Any:
+        """Inclusive prefix reduction over ranks."""
+        ranks = self._state.world_ranks
+        state = self._state
+        rt = self._rt
+
+        def leader(slots: list[Any]) -> Any:
+            entry = rt.clocks[ranks]
+            prefix, acc = [], None
+            for s in slots:
+                acc = s if acc is None else op(acc, s)
+                prefix.append(acc)
+            cost = rt.cost.scan(payload_nbytes(slots[0]), ranks)
+            rt.stats.record_collective("scan", sum(payload_nbytes(s) for s in slots), state.size)
+            return prefix, entry.max() + cost
+
+        def extract(slots: list[Any], cell: Any, idx: int) -> Any:
+            prefix, newclock = cell
+            rt.clocks[ranks[idx]] = newclock
+            return copy_payload(prefix[idx])
+
+        return state.collective(self._rank, value, leader, extract)
+
+    def exscan(self, value: Any, op: ReduceOp = SUM) -> Any:
+        """Exclusive prefix reduction; rank 0 receives ``None``."""
+        ranks = self._state.world_ranks
+        state = self._state
+        rt = self._rt
+
+        def leader(slots: list[Any]) -> Any:
+            entry = rt.clocks[ranks]
+            prefix: list[Any] = [None]
+            acc = None
+            for s in slots[:-1]:
+                acc = s if acc is None else op(acc, s)
+                prefix.append(acc)
+            cost = rt.cost.scan(payload_nbytes(slots[0]), ranks)
+            rt.stats.record_collective("exscan", sum(payload_nbytes(s) for s in slots), state.size)
+            return prefix, entry.max() + cost
+
+        def extract(slots: list[Any], cell: Any, idx: int) -> Any:
+            prefix, newclock = cell
+            rt.clocks[ranks[idx]] = newclock
+            return copy_payload(prefix[idx])
+
+        return state.collective(self._rank, value, leader, extract)
+
+    # -------------------------------------------------------- comm management
+
+    def split(self, color: int | None, key: int = 0) -> "Comm | None":
+        """Partition the communicator by ``color``; order members by ``key``.
+
+        ``color=None`` (MPI_UNDEFINED) yields ``None`` for that rank.
+        """
+        state = self._state
+        ranks = state.world_ranks
+        rt = self._rt
+
+        def leader(slots: list[Any]) -> Any:
+            entry = rt.clocks[ranks]
+            groups: dict[int, list[tuple[int, int]]] = {}
+            for idx, (col, k) in enumerate(slots):
+                if col is not None:
+                    groups.setdefault(col, []).append((k, idx))
+            assignment: dict[int, tuple[_CommState, int]] = {}
+            for col in sorted(groups):
+                members = sorted(groups[col])
+                new_state = _CommState(rt, [ranks[idx] for _, idx in members])
+                for new_rank, (_, idx) in enumerate(members):
+                    assignment[idx] = (new_state, new_rank)
+            cost = rt.cost.comm_split(ranks)
+            rt.stats.record_collective("split", 16 * state.size, state.size)
+            return assignment, entry.max() + cost
+
+        def extract(slots: list[Any], cell: Any, idx: int) -> "Comm | None":
+            assignment, newclock = cell
+            rt.clocks[ranks[idx]] = newclock
+            if idx not in assignment:
+                return None
+            new_state, new_rank = assignment[idx]
+            return Comm(new_state, new_rank)
+
+        return state.collective(self._rank, (color, key), leader, extract)
+
+    def dup(self) -> "Comm":
+        """Duplicate the communicator (fresh collective/p2p context)."""
+        dup = self.split(0, self._rank)
+        assert dup is not None
+        return dup
+
+    # --------------------------------------------------------------- helpers
+
+    def _check_peer(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise CommunicatorError(
+                f"peer rank {rank} out of range [0, {self.size})"
+            )

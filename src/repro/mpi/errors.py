@@ -1,0 +1,33 @@
+"""Error types of the SPMD runtime."""
+
+from __future__ import annotations
+
+
+class SPMDError(RuntimeError):
+    """One or more ranks raised; carries the per-rank exceptions.
+
+    The first failing rank's exception is chained as ``__cause__`` so that
+    pytest tracebacks point at the real failure.
+    """
+
+    def __init__(self, failures: dict[int, BaseException]):
+        self.failures = dict(failures)
+        ranks = ", ".join(str(r) for r in sorted(self.failures))
+        first = self.failures[min(self.failures)]
+        super().__init__(
+            f"SPMD program failed on rank(s) {ranks}: "
+            f"{type(first).__name__}: {first}"
+        )
+
+
+class Aborted(RuntimeError):
+    """Raised inside surviving ranks when the runtime aborts.
+
+    This is the in-process analogue of ``MPI_Abort`` tearing down the job:
+    when any rank raises, all pending waits are interrupted with this
+    exception so the whole SPMD program unwinds instead of deadlocking.
+    """
+
+
+class CommunicatorError(RuntimeError):
+    """Misuse of a communicator (bad rank, mismatched collective, ...)."""

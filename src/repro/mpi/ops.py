@@ -1,0 +1,53 @@
+"""Reduction operations for the runtime's reduce/allreduce/scan collectives.
+
+Operations work uniformly on Python scalars, tuples (elementwise), and NumPy
+arrays.  Each :class:`ReduceOp` is a binary, associative combiner; the
+runtime folds contributions in rank order, so non-commutative user ops are
+well defined (as in MPI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+
+def _elementwise(fn: Callable[[Any, Any], Any]) -> Callable[[Any, Any], Any]:
+    def combine(a: Any, b: Any) -> Any:
+        if isinstance(a, tuple) and isinstance(b, tuple):
+            if len(a) != len(b):
+                raise ValueError("tuple operands of different length")
+            return tuple(combine(x, y) for x, y in zip(a, b))
+        return fn(a, b)
+
+    return combine
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """A named associative reduction."""
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.fn(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReduceOp({self.name})"
+
+
+SUM = ReduceOp("sum", _elementwise(lambda a, b: np.add(a, b) if isinstance(a, np.ndarray) else a + b))
+PROD = ReduceOp("prod", _elementwise(lambda a, b: np.multiply(a, b) if isinstance(a, np.ndarray) else a * b))
+MIN = ReduceOp("min", _elementwise(lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b)))
+MAX = ReduceOp("max", _elementwise(lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b)))
+LAND = ReduceOp("land", _elementwise(lambda a, b: np.logical_and(a, b) if isinstance(a, np.ndarray) else bool(a) and bool(b)))
+LOR = ReduceOp("lor", _elementwise(lambda a, b: np.logical_or(a, b) if isinstance(a, np.ndarray) else bool(a) or bool(b)))
+
+#: (value, location) pairs — reduce keeps the smaller value, ties to lower loc
+MINLOC = ReduceOp("minloc", lambda a, b: a if (a[0], a[1]) <= (b[0], b[1]) else b)
+MAXLOC = ReduceOp("maxloc", lambda a, b: a if (a[0], -a[1]) >= (b[0], -b[1]) else b)
+
+__all__ = ["ReduceOp", "SUM", "PROD", "MIN", "MAX", "LAND", "LOR", "MINLOC", "MAXLOC"]

@@ -1,0 +1,52 @@
+"""Payload handling: value-semantics copies and size accounting.
+
+The runtime is in-process, so without copies a "sent" NumPy array would be
+aliased between ranks; every payload is copied exactly once at the send /
+deposit side, mirroring MPI's value semantics.
+"""
+
+from __future__ import annotations
+
+import copy
+from numbers import Number
+from typing import Any
+
+import numpy as np
+
+
+def copy_payload(obj: Any) -> Any:
+    """Deep-enough copy of a message payload."""
+    if obj is None or isinstance(obj, (bool, int, float, complex, str, bytes, np.generic)):
+        return obj
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, tuple):
+        return tuple(copy_payload(x) for x in obj)
+    if isinstance(obj, list):
+        return [copy_payload(x) for x in obj]
+    if isinstance(obj, dict):
+        return {k: copy_payload(v) for k, v in obj.items()}
+    return copy.deepcopy(obj)
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Approximate wire size of a payload in bytes."""
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, np.generic):
+        return int(obj.itemsize)
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8", errors="replace"))
+    if isinstance(obj, Number):
+        return 8
+    if isinstance(obj, (tuple, list)):
+        return sum(payload_nbytes(x) for x in obj) + 8
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items()) + 8
+    return 64

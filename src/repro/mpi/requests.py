@@ -1,0 +1,59 @@
+"""Non-blocking request objects (MPI_Request analogues)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .comm import Comm
+
+
+class Request:
+    """Handle on an in-flight non-blocking operation."""
+
+    def wait(self) -> Any:
+        """Block until completion; returns the received payload (or None)."""
+        raise NotImplementedError
+
+    def test(self) -> tuple[bool, Any]:
+        """Non-blocking completion check: ``(done, payload-or-None)``."""
+        raise NotImplementedError
+
+
+class _DoneRequest(Request):
+    """An already-completed operation (eager sends complete immediately)."""
+
+    def wait(self) -> None:
+        return None
+
+    def test(self) -> tuple[bool, Any]:
+        return True, None
+
+
+class _IRecvRequest(Request):
+    """A pending receive; completes on :meth:`wait` or a successful test."""
+
+    def __init__(self, comm: "Comm", source: int, tag: int):
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._done = False
+        self._payload: Any = None
+
+    def wait(self) -> Any:
+        if not self._done:
+            self._payload = self._comm.recv(self._source, self._tag)
+            self._done = True
+        return self._payload
+
+    def test(self) -> tuple[bool, Any]:
+        if self._done:
+            return True, self._payload
+        if self._comm.iprobe(self._source, self._tag):
+            return True, self.wait()
+        return False, None
+
+
+def waitall(requests: Iterable[Request]) -> list[Any]:
+    """Wait for every request; returns their payloads in order."""
+    return [req.wait() for req in requests]

@@ -1,0 +1,226 @@
+"""The SPMD runtime: spawns one thread per rank and runs a rank function.
+
+This is the in-process substitute for ``mpiexec`` + MPI: a
+:class:`Runtime` owns the world communicator, the per-rank virtual clocks,
+and the traffic statistics; :func:`run_spmd` is the one-call entry point.
+
+Virtual time
+------------
+``runtime.clocks[r]`` is rank ``r``'s virtual clock in seconds.  Every
+communication call and every explicit :meth:`Comm.compute` charge advances
+it by the machine model's price.  After a run, ``runtime.elapsed()`` (the
+max over ranks) is the modelled makespan of the SPMD program — this is what
+the benchmarks report.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import defaultdict
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..machine import CostModel, MachineSpec, abstract_cluster, make_placement
+from .comm import Comm, _CommState
+from .errors import Aborted, SPMDError
+
+
+class Stats:
+    """Per-rank and aggregate communication statistics."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self.bytes_sent = np.zeros(size, dtype=np.int64)
+        self.msgs_sent = np.zeros(size, dtype=np.int64)
+        self.compute_time = np.zeros(size, dtype=np.float64)
+        self._lock = threading.Lock()
+        #: collective name -> [calls, total payload bytes]
+        self.collectives: dict[str, list[float]] = defaultdict(lambda: [0, 0.0])
+
+    def record_send(self, world_rank: int, nbytes: int) -> None:
+        self.bytes_sent[world_rank] += nbytes
+        self.msgs_sent[world_rank] += 1
+
+    def record_collective(self, name: str, total_bytes: float, nranks: int) -> None:
+        with self._lock:
+            entry = self.collectives[name]
+            entry[0] += 1
+            entry[1] += total_bytes
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "bytes_sent": int(self.bytes_sent.sum()),
+            "msgs_sent": int(self.msgs_sent.sum()),
+            "compute_time_max": float(self.compute_time.max(initial=0.0)),
+            "collectives": {k: tuple(v) for k, v in sorted(self.collectives.items())},
+        }
+
+
+class Runtime:
+    """An in-process SPMD machine of ``size`` ranks.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks.
+    machine:
+        The :class:`MachineSpec` to price operations on.  Defaults to an
+        abstract flat cluster with 16 cores per node, sized to fit.
+    ranks_per_node:
+        Placement density; defaults to one rank per core.
+    cost_model:
+        Overrides machine/ranks_per_node when given.
+    use_shm:
+        Price intra-node traffic as shared-memory copies (paper default).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        *,
+        machine: MachineSpec | None = None,
+        ranks_per_node: int | None = None,
+        cost_model: CostModel | None = None,
+        use_shm: bool = True,
+    ):
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = size
+        if cost_model is None:
+            if machine is None:
+                machine = abstract_cluster(max(1, math.ceil(size / 16)))
+            placement = make_placement(machine, size, ranks_per_node)
+            cost_model = CostModel(placement, use_shm=use_shm)
+        self.cost = cost_model
+        self.clocks = np.zeros(size, dtype=np.float64)
+        self.stats = Stats(size)
+        self._states: list[_CommState] = []
+        self._registry_lock = threading.Lock()
+        self._aborted = False
+        self.world_state = _CommState(self, range(size))
+
+    # ------------------------------------------------------------- plumbing
+
+    def _register_state(self, state: _CommState) -> None:
+        with self._registry_lock:
+            self._states.append(state)
+            if self._aborted:
+                state.abort()
+
+    def abort(self) -> None:
+        """Tear down all pending waits (the in-process ``MPI_Abort``)."""
+        with self._registry_lock:
+            self._aborted = True
+            states = list(self._states)
+        for state in states:
+            state.abort()
+
+    def comm(self, rank: int) -> Comm:
+        """The world communicator handle for ``rank``."""
+        if not 0 <= rank < self.size:
+            raise IndexError(f"rank {rank} out of range")
+        return Comm(self.world_state, rank)
+
+    # ------------------------------------------------------------ execution
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        *,
+        args: Sequence[Any] = (),
+        per_rank_args: Sequence[Sequence[Any]] | None = None,
+        timeout: float | None = None,
+    ) -> list[Any]:
+        """Run ``fn(comm, *args, *per_rank_args[rank])`` on every rank.
+
+        Returns the per-rank results.  If any rank raises, all others are
+        aborted and an :class:`SPMDError` carrying the per-rank exceptions
+        is raised.
+        """
+        if per_rank_args is not None and len(per_rank_args) != self.size:
+            raise ValueError("per_rank_args must have one entry per rank")
+
+        results: list[Any] = [None] * self.size
+        failures: dict[int, BaseException] = {}
+        failures_lock = threading.Lock()
+
+        def worker(rank: int) -> None:
+            comm = self.comm(rank)
+            extra = per_rank_args[rank] if per_rank_args is not None else ()
+            try:
+                results[rank] = fn(comm, *args, *extra)
+            except Aborted:
+                pass  # secondary casualty of another rank's failure
+            except BaseException as exc:  # noqa: BLE001 - must not hang peers
+                with failures_lock:
+                    failures[rank] = exc
+                self.abort()
+
+        old_stack = threading.stack_size()
+        if self.size > 64:
+            threading.stack_size(1 << 20)
+        try:
+            threads = [
+                threading.Thread(target=worker, args=(r,), name=f"rank-{r}", daemon=True)
+                for r in range(self.size)
+            ]
+        finally:
+            threading.stack_size(old_stack)
+
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout)
+            if t.is_alive():
+                self.abort()
+                t.join(5.0)
+                raise TimeoutError(f"SPMD run exceeded {timeout}s (thread {t.name})")
+        if failures:
+            first = failures[min(failures)]
+            raise SPMDError(failures) from first
+        return results
+
+    # ------------------------------------------------------------- reporting
+
+    def elapsed(self) -> float:
+        """Modelled makespan so far: the maximum rank clock."""
+        return float(self.clocks.max())
+
+    def reset(self) -> None:
+        """Zero clocks and statistics (keeps communicators)."""
+        self.clocks[:] = 0.0
+        self.stats = Stats(self.size)
+
+
+def run_spmd(
+    size: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    machine: MachineSpec | None = None,
+    ranks_per_node: int | None = None,
+    cost_model: CostModel | None = None,
+    use_shm: bool = True,
+    per_rank_args: Sequence[Sequence[Any]] | None = None,
+    timeout: float | None = None,
+    return_runtime: bool = False,
+) -> Any:
+    """Run an SPMD function on a fresh :class:`Runtime`.
+
+    >>> def hello(comm):
+    ...     return comm.allreduce(comm.rank)
+    >>> run_spmd(4, hello)
+    [6, 6, 6, 6]
+    """
+    rt = Runtime(
+        size,
+        machine=machine,
+        ranks_per_node=ranks_per_node,
+        cost_model=cost_model,
+        use_shm=use_shm,
+    )
+    results = rt.run(fn, args=args, per_rank_args=per_rank_args, timeout=timeout)
+    if return_runtime:
+        return results, rt
+    return results

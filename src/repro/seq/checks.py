@@ -1,0 +1,90 @@
+"""Output-invariant checks used by tests and examples.
+
+These encode the paper's §II output conditions: each partition sorted, no
+element on rank ``i`` larger than any element on rank ``i+1``, the output a
+permutation of the input, and load balance within ``N(1+eps)/P``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "is_sorted",
+    "is_globally_sorted",
+    "is_permutation",
+    "balance_violation",
+    "check_sorted_output",
+]
+
+
+def is_sorted(x: np.ndarray) -> bool:
+    """Non-decreasing check of a 1-D array."""
+    x = np.asarray(x)
+    return bool(x.size <= 1 or np.all(x[:-1] <= x[1:]))
+
+
+def is_globally_sorted(parts: Sequence[np.ndarray]) -> bool:
+    """Every partition sorted and partition boundaries non-decreasing."""
+    last = None
+    for p in parts:
+        p = np.asarray(p)
+        if not is_sorted(p):
+            return False
+        if p.size:
+            if last is not None and p[0] < last:
+                return False
+            last = p[-1]
+    return True
+
+
+def is_permutation(inputs: Sequence[np.ndarray], outputs: Sequence[np.ndarray]) -> bool:
+    """The multiset of output keys equals the multiset of input keys."""
+    ins = [np.asarray(p) for p in inputs if np.asarray(p).size]
+    outs = [np.asarray(p) for p in outputs if np.asarray(p).size]
+    if not ins and not outs:
+        return True
+    if bool(ins) != bool(outs):
+        return False
+    a = np.sort(np.concatenate(ins), kind="stable")
+    b = np.sort(np.concatenate(outs), kind="stable")
+    return a.shape == b.shape and bool(np.array_equal(a, b))
+
+
+def balance_violation(
+    sizes: Sequence[int], capacities: Sequence[int], eps: float
+) -> int:
+    """Largest excess over the allowed per-rank load, in elements.
+
+    Definition 1 allows each splitter rank to deviate from its target by
+    ``eps * N / (2 * P)``, so a partition size (the difference of two
+    adjacent splitter ranks) may deviate from its capacity by up to twice
+    that, i.e. ``eps * N / P`` — which is exactly the §II guarantee of at
+    most ``N * (1 + eps) / P`` elements per rank.  With ``eps == 0``
+    (perfect partitioning) sizes must match capacities exactly.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    caps = np.asarray(capacities, dtype=np.int64)
+    if sizes.shape != caps.shape:
+        raise ValueError("sizes and capacities must align")
+    n_total = int(caps.sum())
+    p = max(len(caps), 1)
+    tol = 2 * int(np.floor(eps * n_total / (2 * p)))
+    excess = np.abs(sizes - caps) - tol
+    return int(max(0, excess.max(initial=0)))
+
+
+def check_sorted_output(
+    inputs: Sequence[np.ndarray],
+    outputs: Sequence[np.ndarray],
+    eps: float = 0.0,
+) -> None:
+    """Assert the full §II output contract; raises AssertionError on failure."""
+    assert is_globally_sorted(outputs), "output is not globally sorted"
+    assert is_permutation(inputs, outputs), "output is not a permutation of input"
+    caps = [int(np.asarray(p).size) for p in inputs]
+    sizes = [int(np.asarray(p).size) for p in outputs]
+    viol = balance_violation(sizes, caps, eps)
+    assert viol == 0, f"load balance violated by {viol} element(s)"

@@ -1,0 +1,179 @@
+"""K-way merging of sorted runs (§V-C of the paper).
+
+The paper weighs three ways of combining the ``P`` sorted chunks a rank
+receives from the exchange:
+
+* re-sorting the concatenation (what the evaluated implementation does),
+* a **binary merge tree** — pairwise two-way merges, ``ceil(log2 P)`` passes,
+* a **tournament (loser) tree** — one pass, ``O(log P)`` per element.
+
+All three are provided here; :func:`repro.core.merge.local_merge` picks one
+by configuration, and ``benchmarks/bench_merge_strategies.py`` reproduces
+the §VI-E.2 study of their trade-offs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "merge_two_sorted",
+    "binary_merge_tree",
+    "LoserTree",
+    "loser_tree_merge",
+    "kway_merge",
+]
+
+
+def merge_two_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Stable two-way merge of sorted arrays, fully vectorised.
+
+    Elements of ``b`` are placed after equal elements of ``a`` (stability).
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.size == 0:
+        return b.copy()
+    if b.size == 0:
+        return a.copy()
+    # Final index of each b-element: its insertion point in a, shifted by
+    # the number of b-elements before it.
+    pos_b = np.searchsorted(a, b, side="right") + np.arange(b.size)
+    out = np.empty(a.size + b.size, dtype=np.result_type(a, b))
+    mask = np.zeros(out.size, dtype=bool)
+    mask[pos_b] = True
+    out[pos_b] = b
+    out[~mask] = a
+    return out
+
+
+def binary_merge_tree(runs: Sequence[np.ndarray]) -> np.ndarray:
+    """Merge ``k`` sorted runs with ceil(log2 k) pairwise passes.
+
+    Each element is touched once per pass; pairs can merge as soon as both
+    inputs are available, which is what makes this strategy overlap well
+    with an incoming all-to-all (§VI-E.1).
+    """
+    runs = [np.asarray(r) for r in runs if np.asarray(r).size > 0]
+    if not runs:
+        return np.empty(0)
+    while len(runs) > 1:
+        nxt = [
+            merge_two_sorted(runs[i], runs[i + 1])
+            for i in range(0, len(runs) - 1, 2)
+        ]
+        if len(runs) % 2:
+            nxt.append(runs[-1])
+        runs = nxt
+    return runs[0]
+
+
+class LoserTree:
+    """A tournament (loser) tree over ``k`` sorted runs.
+
+    Classic Knuth-style replacement-selection structure: internal nodes hold
+    the *loser* of the match below them, the overall winner sits at the
+    root.  ``pop()`` returns the globally smallest head and replays the
+    winner's path in ``O(log k)`` comparisons.
+    """
+
+    def __init__(self, runs: Sequence[np.ndarray]):
+        real = [np.asarray(r) for r in runs]
+        if not real:
+            raise ValueError("LoserTree needs at least one run")
+        # Pad the run count to a power of two with empty (always-losing)
+        # runs so the tree is perfect: leaf j sits at node k + j, the
+        # parent of node i is i // 2, internal nodes 1..k-1 store losers.
+        k = 1
+        while k < len(real):
+            k *= 2
+        empty = np.empty(0, dtype=real[0].dtype)
+        self._runs = real + [empty] * (k - len(real))
+        self._pos = [0] * k
+        self._k = k
+        self._remaining = sum(r.size for r in real)
+        self._tree = [-1] * k  # internal nodes: run index of the loser
+        winner_at = [-1] * (2 * k)
+        for j in range(k):
+            winner_at[k + j] = j
+        for node in range(k - 1, 0, -1):
+            a, b = winner_at[2 * node], winner_at[2 * node + 1]
+            if self._beats(a, b):
+                winner_at[node], self._tree[node] = a, b
+            else:
+                winner_at[node], self._tree[node] = b, a
+        self._winner = winner_at[1]
+
+    def _head(self, run: int):
+        pos = self._pos[run]
+        if pos < self._runs[run].size:
+            return self._runs[run][pos]
+        return None  # exhausted → loses every match
+
+    def _beats(self, a: int, b: int) -> bool:
+        """Does run ``a``'s head win (strictly smaller, ties to lower run)?"""
+        ha, hb = self._head(a), self._head(b)
+        if hb is None:
+            return True
+        if ha is None:
+            return False
+        return bool(ha < hb) or (bool(ha == hb) and a < b)
+
+    def __len__(self) -> int:
+        return self._remaining
+
+    def pop(self):
+        """Remove and return the globally smallest remaining element."""
+        if self._remaining == 0:
+            raise IndexError("pop from exhausted LoserTree")
+        run = self._winner
+        value = self._runs[run][self._pos[run]]
+        self._pos[run] += 1
+        self._remaining -= 1
+        # Replay the winner's path: at each node the path element meets the
+        # stored loser; the loser of the match stays, the winner moves up.
+        node = (self._k + run) // 2
+        cur = run
+        while node >= 1:
+            stored = self._tree[node]
+            if self._beats(stored, cur):
+                self._tree[node], cur = cur, stored
+            node //= 2
+        self._winner = cur
+        return value
+
+
+def loser_tree_merge(runs: Sequence[np.ndarray]) -> np.ndarray:
+    """Single-pass k-way merge through a :class:`LoserTree`."""
+    runs = [np.asarray(r) for r in runs if np.asarray(r).size > 0]
+    if not runs:
+        return np.empty(0)
+    if len(runs) == 1:
+        return runs[0].copy()
+    tree = LoserTree(runs)
+    out = np.empty(len(tree), dtype=np.result_type(*runs))
+    for i in range(out.size):
+        out[i] = tree.pop()
+    return out
+
+
+def kway_merge(runs: Sequence[np.ndarray], strategy: str = "binary_tree") -> np.ndarray:
+    """Merge sorted runs with the chosen strategy.
+
+    ``strategy`` is one of ``binary_tree``, ``tournament``, or ``sort``
+    (concatenate + re-sort, the paper's evaluated configuration).
+    """
+    runs = [np.asarray(r) for r in runs]
+    if strategy == "binary_tree":
+        return binary_merge_tree(runs)
+    if strategy == "tournament":
+        return loser_tree_merge(runs)
+    if strategy == "sort":
+        if not runs:
+            return np.empty(0)
+        out = np.concatenate(runs)
+        out.sort(kind="stable")
+        return out
+    raise ValueError(f"unknown merge strategy {strategy!r}")

@@ -1,0 +1,40 @@
+"""Binary-search histogram helpers on locally sorted runs (§V-A).
+
+The local histogram of a probe vector ``S`` over a sorted partition ``p`` is
+the pair of bound vectors
+
+* ``l[i]`` — number of local keys strictly below ``S[i]``,
+* ``u[i]`` — number of local keys at or below ``S[i]``,
+
+obtained with two vectorised ``np.searchsorted`` calls.  Summed over all
+ranks these become the global histogram ``(L, U)`` of Algorithm 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["local_histogram", "rank_of", "counts_between"]
+
+
+def local_histogram(sorted_part: np.ndarray, probes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Lower/upper bound counts of each probe in a sorted partition."""
+    sorted_part = np.asarray(sorted_part)
+    probes = np.asarray(probes)
+    lower = np.searchsorted(sorted_part, probes, side="left").astype(np.int64)
+    upper = np.searchsorted(sorted_part, probes, side="right").astype(np.int64)
+    return lower, upper
+
+
+def rank_of(sorted_part: np.ndarray, value) -> tuple[int, int]:
+    """``(strictly-below, at-or-below)`` counts of one value."""
+    lo, up = local_histogram(sorted_part, np.asarray([value]))
+    return int(lo[0]), int(up[0])
+
+
+def counts_between(sorted_part: np.ndarray, lo, hi) -> int:
+    """Number of keys in the open interval ``(lo, hi)``."""
+    sorted_part = np.asarray(sorted_part)
+    a = np.searchsorted(sorted_part, lo, side="right")
+    b = np.searchsorted(sorted_part, hi, side="left")
+    return int(max(0, b - a))

@@ -1,0 +1,136 @@
+"""Sequential selection algorithms (§IV-A of the paper).
+
+Three interchangeable k-th order statistic kernels:
+
+* :func:`quickselect` — randomized, expected O(n);
+* :func:`median_of_medians` — deterministic worst-case O(n) (Blum et al.);
+* :func:`floyd_rivest` — sampling-based expected O(n) with small constants.
+
+All operate on 1-D NumPy arrays and return the value of the k-th smallest
+element (0-based).  They are used for local median finding inside
+:mod:`repro.core.dselect` and as test oracles for each other.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["quickselect", "median_of_medians", "floyd_rivest", "nsmallest_value"]
+
+
+def _validate(x: np.ndarray, k: int) -> np.ndarray:
+    x = np.asarray(x)
+    if x.ndim != 1:
+        raise ValueError("selection requires a 1-D array")
+    if x.size == 0:
+        raise ValueError("selection on an empty array")
+    if not 0 <= k < x.size:
+        raise IndexError(f"k={k} out of range [0, {x.size})")
+    return x
+
+
+def quickselect(x: np.ndarray, k: int, rng: np.random.Generator | None = None):
+    """Randomized quickselect: the k-th smallest value of ``x`` (0-based).
+
+    Vectorised partitioning: each round splits the working set around a
+    random pivot with boolean masks, recursing iteratively into the side
+    containing rank ``k``.
+    """
+    x = _validate(x, k)
+    if rng is None:
+        rng = np.random.default_rng(0x5EEC7)
+    work = x
+    while True:
+        n = work.size
+        if n <= 64:
+            return np.partition(work, k)[k] if n > 32 else np.sort(work)[k]
+        pivot = work[int(rng.integers(n))]
+        less = work[work < pivot]
+        if k < less.size:
+            work = less
+            continue
+        equal = int(np.count_nonzero(work == pivot))
+        if k < less.size + equal:
+            return pivot
+        k -= less.size + equal
+        work = work[work > pivot]
+
+
+def median_of_medians(x: np.ndarray, k: int):
+    """Deterministic O(n) selection via the median-of-medians pivot rule.
+
+    Groups of 5; the pivot is the true median of the group medians, which
+    guarantees discarding at least 30% of the working set per round.
+    """
+    x = _validate(x, k)
+    work = x
+    while True:
+        n = work.size
+        if n <= 32:
+            return np.sort(work)[k]
+        m = (n // 5) * 5
+        groups = np.sort(work[:m].reshape(-1, 5), axis=1)
+        medians = groups[:, 2]
+        if m < n:
+            tail = np.sort(work[m:])
+            medians = np.append(medians, tail[tail.size // 2])
+        pivot = median_of_medians(medians, medians.size // 2)
+        less = work[work < pivot]
+        if k < less.size:
+            work = less
+            continue
+        equal = int(np.count_nonzero(work == pivot))
+        if k < less.size + equal:
+            return pivot
+        k -= less.size + equal
+        work = work[work > pivot]
+
+
+def floyd_rivest(
+    x: np.ndarray, k: int, rng: np.random.Generator | None = None
+):
+    """Floyd–Rivest SELECT: expected n + min(k, n-k) + o(n) comparisons.
+
+    Samples O(n^(2/3)) elements around the target rank to pick two pivots
+    that bracket the k-th element with high probability, then recurses on
+    the (usually tiny) middle band.
+    """
+    x = _validate(x, k)
+    if rng is None:
+        rng = np.random.default_rng(0xF10FD)
+    work = x
+    while True:
+        n = work.size
+        if n <= 600:
+            return np.sort(work)[k]
+        # Sample size and offset per Floyd & Rivest (1975).
+        s = int(math.ceil(math.exp(2.0 * math.log(n) / 3.0)))
+        sd = 0.5 * math.sqrt(s * math.log(n) * (n - s) / n)
+        frac = k / n
+        sample = work[rng.integers(0, n, size=s)]
+        sample.sort()
+        lo_idx = max(0, min(s - 1, int(frac * s - sd)))
+        hi_idx = max(0, min(s - 1, int(frac * s + sd)))
+        lo, hi = sample[lo_idx], sample[hi_idx]
+        below = int(np.count_nonzero(work < lo))
+        band = work[(work >= lo) & (work <= hi)]
+        if k < below:
+            work = work[work < lo]
+            continue
+        if k < below + band.size:
+            if band.size == n:
+                # Degenerate pivots (e.g. heavy duplicates): avoid looping.
+                return np.partition(work, k)[k]
+            work = band
+            k -= below
+            continue
+        k -= below + band.size
+        work = work[work > hi]
+
+
+def nsmallest_value(x: np.ndarray, k: int):
+    """NumPy oracle: k-th smallest value via ``np.partition``."""
+    x = _validate(x, k)
+    return np.partition(x, k)[k]

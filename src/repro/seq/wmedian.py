@@ -1,0 +1,63 @@
+"""Weighted median (Definition 2 of the paper).
+
+Given values :math:`x_1..x_n` with positive normalized weights
+:math:`w_1..w_n`, the weighted median is the value :math:`x_k` with
+
+.. math::
+
+    \\sum_{x_i < x_k} w_i < 1/2 \\quad\\text{and}\\quad \\sum_{x_i > x_k} w_i \\le 1/2.
+
+It generalizes the median-of-medians property used by the distributed
+selection: picking the weighted median of per-rank medians (weighted by
+partition sizes) guarantees that at least one quarter of the global working
+set is discarded per iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["weighted_median", "is_weighted_median"]
+
+
+def weighted_median(values: np.ndarray, weights: np.ndarray):
+    """The lower weighted median of ``values`` under ``weights``.
+
+    Weights need not be normalized; they must be non-negative with a
+    positive sum.  Ties in value are merged, so duplicate values cannot
+    split a weight mass.
+    """
+    values = np.asarray(values)
+    weights = np.asarray(weights, dtype=np.float64)
+    if values.ndim != 1 or weights.ndim != 1 or values.size != weights.size:
+        raise ValueError("values and weights must be 1-D of equal length")
+    if values.size == 0:
+        raise ValueError("weighted median of an empty sequence")
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    total = float(weights.sum())
+    if total <= 0:
+        raise ValueError("weights must not all be zero")
+
+    order = np.argsort(values, kind="stable")
+    v = values[order]
+    w = weights[order]
+    cumw = np.cumsum(w)
+    # First index where the cumulative weight reaches half the total mass.
+    half = total / 2.0
+    idx = int(np.searchsorted(cumw, half, side="left"))
+    idx = min(idx, v.size - 1)
+    return v[idx]
+
+
+def is_weighted_median(values: np.ndarray, weights: np.ndarray, candidate) -> bool:
+    """Check Definition 2: strictly-below mass < 1/2 and above mass <= 1/2."""
+    values = np.asarray(values)
+    weights = np.asarray(weights, dtype=np.float64)
+    total = float(weights.sum())
+    below = float(weights[values < candidate].sum())
+    above = float(weights[values > candidate].sum())
+    # Exact comparisons: callers use integer or dyadic-rational weights, so
+    # the half-mass boundary is representable and the strictness of the
+    # first condition is meaningful.
+    return below < total / 2.0 and above <= total / 2.0

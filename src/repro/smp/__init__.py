@@ -1,0 +1,15 @@
+"""Shared-memory node simulator: task scheduling, NUMA penalties, merge sorts."""
+
+from .mergesort import SmpRun, kway_merge_time, parallel_mergesort_time
+from .numa import NumaModel
+from .tasks import ScheduleResult, Task, WorkStealingSimulator
+
+__all__ = [
+    "NumaModel",
+    "ScheduleResult",
+    "SmpRun",
+    "Task",
+    "WorkStealingSimulator",
+    "kway_merge_time",
+    "parallel_mergesort_time",
+]

@@ -1,0 +1,268 @@
+"""Task-DAG models of the paper's shared-memory merge sorts (§VI-D, §VI-E.2).
+
+Two runtimes are modelled on top of :class:`WorkStealingSimulator`:
+
+* ``tbb`` — Intel Parallel STL's TBB task merge sort: fine grain
+  (≈ 4 leaves per thread), *parallelized* top-level merges (TBB's parallel
+  merge splits a big merge into concurrent range sub-merges), low spawn
+  overhead, locality-aware stealing;
+* ``openmp`` — the Intel OpenMP task merge sort reference: coarser grain,
+  sequential binary merges, higher per-task overhead.
+
+Both pay NUMA penalties when a task executes away from its data or merges
+a remote sibling — the mechanism behind Fig. 4's crossover: a merge sort
+touches every element ``log`` times (increasingly across domains), while
+the histogram sort moves each element across domains exactly once.
+
+:func:`kway_merge_time` additionally models the §VI-E.2 study: merging
+``k`` equal chunks with ``t`` threads under the three strategies, with a
+cache-pressure penalty once the merge fan-in's working set exceeds L2 —
+reproducing "many threads merging many small chunks degrades".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..machine.spec import Level as _Level
+from ..machine.spec import MachineSpec
+from .numa import NumaModel
+from .tasks import ScheduleResult, Task, WorkStealingSimulator
+
+_NODE_LEVEL = _Level.NODE
+
+__all__ = ["SmpRun", "parallel_mergesort_time", "kway_merge_time"]
+
+#: L2 cache per core (Haswell: 256 KiB) — fan-in cache model of §VI-E.2
+_L2_BYTES = 256 * 1024
+#: per-run streaming working set of one merge input (a few cache pages)
+_RUN_FOOTPRINT = 16 * 1024
+#: cache-miss penalty slope once the fan-in working set spills L2
+_CACHE_SLOPE = 1.6
+
+#: SMT settings: the paper found 2 threads/core beneficial for TBB/OpenMP
+_SMT_THROUGHPUT = {1: 1.0, 2: 0.62}
+
+
+@dataclass(frozen=True)
+class SmpRun:
+    """A modelled shared-memory run."""
+
+    seconds: float
+    schedule: ScheduleResult
+    tasks: int
+
+
+def _leaf_count(nthreads: int, per_thread: int) -> int:
+    leaves = 1
+    while leaves < nthreads * per_thread:
+        leaves *= 2
+    return leaves
+
+
+def parallel_mergesort_time(
+    machine: MachineSpec,
+    n: int,
+    *,
+    cores: int,
+    active_domains: int,
+    runtime: str = "tbb",
+    smt: int = 2,
+    itemsize: int = 8,
+) -> SmpRun:
+    """Modelled time of a task-parallel merge sort of ``n`` keys.
+
+    ``cores`` physical cores spread over ``active_domains`` NUMA domains
+    (the Fig. 4 sweep runs 7..28 cores over 1..4 domains); data is evenly
+    first-touch-distributed over the active domains.
+    """
+    if runtime not in ("tbb", "openmp"):
+        raise ValueError(f"unknown runtime {runtime!r}")
+    if n <= 0:
+        raise ValueError("n must be > 0")
+    numa = NumaModel(machine, active_domains)
+    nthreads = cores * smt
+    thread_domains = numa.thread_domains(nthreads, smt=smt)
+    compute = machine.compute
+
+    if runtime == "tbb":
+        leaves = _leaf_count(nthreads, per_thread=4)
+        spawn = 8.0e-7
+        parallel_merge = True
+    else:
+        leaves = _leaf_count(nthreads, per_thread=2)
+        spawn = 2.5e-6
+        parallel_merge = False
+
+    leaf_n = n / leaves
+    tasks: list[Task] = []
+    # Leaves: local sorts on first-touch-placed blocks.  A leaf's domain set
+    # is a single domain; merges track the set of domains their subtree's
+    # data is spread over, because once a merge has combined two domains'
+    # data, every later pass over it is partially remote.
+    level_nodes: list[tuple[int, int, float, frozenset[int]]] = []
+    cross_bytes = 0.0  # total bytes moved across NUMA domains by merges
+    for i in range(leaves):
+        dom = numa.domain_of_block(i, leaves)
+        tasks.append(Task(cost=compute.sort(int(leaf_n), itemsize), numa=dom, tag="sort"))
+        level_nodes.append((len(tasks) - 1, dom, leaf_n, frozenset((dom,))))
+
+    # Merge levels.
+    while len(level_nodes) > 1:
+        nxt: list[tuple[int, int, float, frozenset[int]]] = []
+        for j in range(0, len(level_nodes), 2):
+            (lt, ldom, ln, lspan), (rt, rdom, rn, rspan) = (
+                level_nodes[j],
+                level_nodes[j + 1],
+            )
+            total = ln + rn
+            home = ldom
+            span = lspan | rspan
+            # An s-domain subtree is (1 - 1/s) remote for any single core.
+            s = len(span)
+            remote_frac = 1.0 - 1.0 / s
+            cross_pen = numa.penalty(0, numa.active_domains - 1) if numa.active_domains > 1 else 1.0
+            base = compute.c_merge * total * (1.0 + remote_frac * (cross_pen - 1.0))
+            cross_bytes += total * itemsize * remote_frac * 2.0  # read + write
+            if parallel_merge and total > 4 * leaf_n:
+                # TBB parallel merge: split into concurrent range sub-merges.
+                pieces = max(2, int(total // (2 * leaf_n)))
+                sub_ids = []
+                for piece in range(pieces):
+                    tasks.append(
+                        Task(cost=base / pieces, numa=home, deps=(lt, rt), tag="merge")
+                    )
+                    sub_ids.append(len(tasks) - 1)
+                tasks.append(Task(cost=0.0, numa=home, deps=tuple(sub_ids), tag="join"))
+                nxt.append((len(tasks) - 1, home, total, span))
+            else:
+                tasks.append(Task(cost=base, numa=home, deps=(lt, rt), tag="merge"))
+                nxt.append((len(tasks) - 1, home, total, span))
+        level_nodes = nxt
+
+    sim = WorkStealingSimulator(
+        thread_domains,
+        numa.penalty,
+        spawn_overhead=spawn,
+        throughput=_SMT_THROUGHPUT.get(smt, 1.0),
+    )
+    result = sim.run(tasks)
+    # Cross-domain merge traffic shares the inter-socket links: a bandwidth
+    # floor no amount of threads removes (the NUMA wall of §VI-D).
+    cross_bw = machine.link(_NODE_LEVEL).bandwidth * 2.0
+    seconds = result.makespan + cross_bytes / cross_bw
+    return SmpRun(seconds=seconds, schedule=result, tasks=len(tasks))
+
+
+def _cache_penalty(k: int) -> float:
+    """Fan-in cache pressure: k streaming runs must coexist in L2."""
+    working = k * _RUN_FOOTPRINT
+    if working <= _L2_BYTES:
+        return 1.0
+    return 1.0 + _CACHE_SLOPE * math.log2(working / _L2_BYTES)
+
+
+def kway_merge_time(
+    machine: MachineSpec,
+    n: int,
+    k: int,
+    *,
+    threads: int,
+    strategy: str,
+    active_domains: int = 4,
+    smt: int = 1,
+    itemsize: int = 4,
+) -> SmpRun:
+    """Modelled time of merging ``k`` equal sorted chunks of total size ``n``.
+
+    Strategies (§VI-E.2): ``binary_tree`` (OpenMP-task binary merge tree),
+    ``tournament`` (GNU parallel multiway merge: output split over threads,
+    each thread runs a k-way loser tree), ``sort`` (ignore run structure,
+    parallel-merge-sort everything — the baseline that wins for many small
+    chunks).
+    """
+    if k < 1 or n <= 0:
+        raise ValueError("need k >= 1 and n > 0")
+    numa = NumaModel(machine, active_domains)
+    compute = machine.compute
+    if strategy == "sort":
+        return parallel_mergesort_time(
+            machine, n, cores=threads, active_domains=active_domains, runtime="tbb", smt=smt
+        )
+
+    thread_domains = numa.thread_domains(threads * smt, smt=smt)
+    sim = WorkStealingSimulator(
+        thread_domains,
+        numa.penalty,
+        spawn_overhead=1.5e-6,
+        throughput=_SMT_THROUGHPUT.get(smt, 1.0),
+    )
+
+    chunk_n = n / k
+    tasks: list[Task] = []
+    if strategy == "binary_tree":
+        # ceil(log2 k) passes of pairwise merges; pass p merges runs of
+        # 2^p chunks.  Two-run merges stream well: no fan-in penalty.
+        level = [
+            (None, numa.domain_of_block(i, k), chunk_n) for i in range(k)
+        ]  # (tid, dom, size); leaves are data, not tasks
+        ids: list[int | None] = [None] * k
+        nodes = list(range(k))
+        sizes = [chunk_n] * k
+        doms = [numa.domain_of_block(i, k) for i in range(k)]
+        while len(nodes) > 1:
+            nxt_nodes, nxt_sizes, nxt_doms, nxt_ids = [], [], [], []
+            for j in range(0, len(nodes) - 1, 2):
+                total = sizes[j] + sizes[j + 1]
+                home = doms[j]
+                cost = compute.c_merge * (
+                    sizes[j] * numa.penalty(doms[j], home)
+                    + sizes[j + 1] * numa.penalty(doms[j + 1], home)
+                )
+                deps = tuple(t for t in (ids[j], ids[j + 1]) if t is not None)
+                tasks.append(Task(cost=cost, numa=home, deps=deps, tag="merge"))
+                nxt_nodes.append(len(nxt_nodes))
+                nxt_sizes.append(total)
+                nxt_doms.append(home)
+                nxt_ids.append(len(tasks) - 1)
+            if len(nodes) % 2:
+                nxt_nodes.append(len(nxt_nodes))
+                nxt_sizes.append(sizes[-1])
+                nxt_doms.append(doms[-1])
+                nxt_ids.append(ids[-1])
+            nodes, sizes, doms, ids = nxt_nodes, nxt_sizes, nxt_doms, nxt_ids
+        if not tasks:
+            tasks.append(Task(cost=compute.memcpy(n * 4), numa=0, tag="copy"))
+    elif strategy == "tournament":
+        # Output range split across threads; each slice runs a k-way loser
+        # tree over all k runs — log2(k) comparisons and k-way fan-in cache
+        # pressure per element.
+        slices = max(threads, 1)
+        per = n / slices
+        fan = _cache_penalty(k)
+        for s in range(slices):
+            dom = numa.domain_of_block(s, slices)
+            cost = compute.c_merge * per * max(1.0, math.log2(max(k, 2))) * fan
+            tasks.append(Task(cost=cost, numa=dom, tag="kway"))
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}")
+
+    result = sim.run(tasks)
+    # Merging is memory-bound: every pass streams the full volume through
+    # the memory system, which the paper's §VI-E.2 experiments hit as soon
+    # as many threads process many chunks.  Threads beyond the bandwidth
+    # wall do not help — the floor is thread-independent.
+    if strategy == "binary_tree":
+        passes = max(1, math.ceil(math.log2(max(k, 2))))
+        stream_bytes = passes * n * itemsize * 2.0
+        fan = 1.0
+    else:  # tournament
+        stream_bytes = n * itemsize * 2.0
+        fan = _cache_penalty(k)
+    # Concurrency contention: many threads issuing merge streams defeat the
+    # prefetchers and row-buffer locality, shrinking effective bandwidth.
+    mem_bw = machine.link(_Level.NUMA).bandwidth * active_domains
+    mem_bw /= 1.0 + 0.02 * threads
+    floor = stream_bytes * fan / mem_bw
+    return SmpRun(seconds=max(result.makespan, floor), schedule=result, tasks=len(tasks))

@@ -1,0 +1,68 @@
+"""NUMA node model: thread pinning and access penalties.
+
+Derived from a :class:`repro.machine.spec.MachineSpec` node: the penalty of
+touching another domain's memory is the bandwidth ratio of the local NUMA
+link to the link that traffic crosses (same socket vs. QPI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.spec import Level, MachineSpec
+
+__all__ = ["NumaModel"]
+
+
+@dataclass(frozen=True)
+class NumaModel:
+    """Access-penalty and pinning helper for one node of ``machine``."""
+
+    machine: MachineSpec
+    active_domains: int
+
+    def __post_init__(self) -> None:
+        node = self.machine.node
+        if not 1 <= self.active_domains <= node.numa_domains:
+            raise ValueError(
+                f"active_domains must be in [1, {node.numa_domains}]"
+            )
+
+    def socket_of_domain(self, domain: int) -> int:
+        return domain // self.machine.node.numa_per_socket
+
+    def penalty(self, data_domain: int, exec_domain: int) -> float:
+        """Multiplicative slow-down of touching remote memory."""
+        if data_domain == exec_domain:
+            return 1.0
+        local_bw = self.machine.link(Level.NUMA).bandwidth
+        if self.socket_of_domain(data_domain) == self.socket_of_domain(exec_domain):
+            return max(1.0, local_bw / self.machine.link(Level.SOCKET).bandwidth)
+        return max(1.0, local_bw / self.machine.link(Level.NODE).bandwidth)
+
+    def thread_domains(self, nthreads: int, smt: int = 1) -> list[int]:
+        """Domains of ``nthreads`` hardware threads filling active domains.
+
+        Cores fill domain by domain (``numactl`` style); with ``smt`` > 1
+        each core contributes that many hardware threads.
+        """
+        cores_per_domain = self.machine.node.cores_per_numa
+        slots = []
+        for dom in range(self.active_domains):
+            slots.extend([dom] * (cores_per_domain * smt))
+        if nthreads > len(slots):
+            raise ValueError(
+                f"{nthreads} threads exceed {len(slots)} hardware threads on "
+                f"{self.active_domains} domain(s)"
+            )
+        return slots[:nthreads]
+
+    def domain_of_block(self, block: int, nblocks: int) -> int:
+        """First-touch placement: block ``i`` of the data lives in the domain
+        owning that slice of the (evenly interleaved) allocation."""
+        if nblocks <= 0:
+            raise ValueError("nblocks must be > 0")
+        return min(
+            self.active_domains - 1,
+            (block * self.active_domains) // nblocks,
+        )

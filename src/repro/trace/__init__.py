@@ -1,0 +1,6 @@
+"""Tracing: phase timers over virtual clocks and traffic snapshots."""
+
+from .counters import TrafficSnapshot
+from .timer import PhaseTimer, combine_phases, phase_fractions
+
+__all__ = ["PhaseTimer", "TrafficSnapshot", "combine_phases", "phase_fractions"]

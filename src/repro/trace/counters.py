@@ -1,0 +1,43 @@
+"""Traffic snapshots: attribute communication volume to program sections."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..mpi import Runtime
+
+__all__ = ["TrafficSnapshot"]
+
+
+@dataclass(frozen=True)
+class TrafficSnapshot:
+    """A point-in-time copy of a runtime's aggregate traffic counters."""
+
+    bytes_sent: int
+    msgs_sent: int
+    collective_bytes: dict[str, float]
+
+    @classmethod
+    def capture(cls, runtime: "Runtime") -> "TrafficSnapshot":
+        with runtime.stats._lock:
+            coll = {k: float(v[1]) for k, v in runtime.stats.collectives.items()}
+        return cls(
+            bytes_sent=int(runtime.stats.bytes_sent.sum()),
+            msgs_sent=int(runtime.stats.msgs_sent.sum()),
+            collective_bytes=coll,
+        )
+
+    def diff(self, earlier: "TrafficSnapshot") -> "TrafficSnapshot":
+        """Traffic between ``earlier`` and this snapshot."""
+        keys = set(self.collective_bytes) | set(earlier.collective_bytes)
+        return TrafficSnapshot(
+            bytes_sent=self.bytes_sent - earlier.bytes_sent,
+            msgs_sent=self.msgs_sent - earlier.msgs_sent,
+            collective_bytes={
+                k: self.collective_bytes.get(k, 0.0)
+                - earlier.collective_bytes.get(k, 0.0)
+                for k in sorted(keys)
+            },
+        )

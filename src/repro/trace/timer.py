@@ -1,0 +1,73 @@
+"""Per-rank phase timers over virtual clocks.
+
+A :class:`PhaseTimer` slices a rank's virtual-clock timeline into named
+phases (local sort, splitting, exchange, merge, ...).  The per-rank
+dictionaries are combined across ranks with :func:`combine_phases`, which is
+what Fig. 2(b)/3(b)-style breakdowns are made of.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..mpi import Comm
+
+__all__ = ["PhaseTimer", "combine_phases", "phase_fractions"]
+
+
+class PhaseTimer:
+    """Attributes virtual-clock progress to named phases.
+
+    >>> timer = PhaseTimer(comm)
+    >>> ...local sort...
+    >>> timer.mark("local_sort")
+    >>> ...splitting...
+    >>> timer.mark("splitting")
+    >>> timer.phases   # {'local_sort': 1.2, 'splitting': 0.4}
+    """
+
+    def __init__(self, comm: "Comm"):
+        self._comm = comm
+        self._last = comm.clock
+        self.phases: dict[str, float] = {}
+
+    def mark(self, name: str) -> float:
+        """Close the current phase under ``name``; returns its duration."""
+        now = self._comm.clock
+        delta = now - self._last
+        self.phases[name] = self.phases.get(name, 0.0) + delta
+        self._last = now
+        return delta
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.phases.values()))
+
+
+def combine_phases(
+    per_rank: Sequence[Mapping[str, float]], how: str = "max"
+) -> dict[str, float]:
+    """Combine per-rank phase dictionaries (``max`` or ``mean`` over ranks)."""
+    if not per_rank:
+        return {}
+    names: list[str] = []
+    for d in per_rank:
+        for k in d:
+            if k not in names:
+                names.append(k)
+    out: dict[str, float] = {}
+    for name in names:
+        vals = np.array([d.get(name, 0.0) for d in per_rank])
+        out[name] = float(vals.max() if how == "max" else vals.mean())
+    return out
+
+
+def phase_fractions(phases: Mapping[str, float]) -> dict[str, float]:
+    """Normalize a phase breakdown to fractions of the total."""
+    total = sum(phases.values())
+    if total <= 0:
+        return {k: 0.0 for k in phases}
+    return {k: v / total for k, v in phases.items()}

@@ -1,0 +1,25 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine import abstract_cluster
+from repro.mpi import run_spmd
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0xC0FFEE)
+
+
+def spmd(p, fn, *args, **kwargs):
+    """Run an SPMD function on a small abstract cluster; returns rank results."""
+    kwargs.setdefault("machine", abstract_cluster(max(1, (p + 7) // 8), cores_per_node=8))
+    return run_spmd(p, fn, *args, **kwargs)
+
+
+@pytest.fixture
+def run():
+    return spmd

@@ -1,0 +1,108 @@
+"""Workload generators and partition layouts."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DISTRIBUTIONS,
+    balanced_sizes,
+    block_sizes,
+    geometric_sizes,
+    make_partition,
+    single_holder_sizes,
+    sparse_sizes,
+    uniform_u64,
+)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_size_and_determinism(self, name):
+        a = make_partition(name, 500, rank=3, seed=42)
+        b = make_partition(name, 500, rank=3, seed=42)
+        assert a.shape == (500,)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_rank_independence(self, name):
+        if name == "all_equal_i64":
+            pytest.skip("degenerate by design")
+        a = make_partition(name, 500, rank=0, seed=42)
+        b = make_partition(name, 500, rank=1, seed=42)
+        assert not np.array_equal(a, b)
+
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_empty(self, name):
+        assert make_partition(name, 0, rank=0).size == 0
+
+    def test_uniform_range_and_dtype(self):
+        x = uniform_u64(10000, seed=1)
+        assert x.dtype == np.uint64
+        assert x.min() >= 0 and x.max() <= 10**9
+
+    def test_normal_dtype(self):
+        assert make_partition("normal_f64", 10).dtype == np.float64
+        assert make_partition("normal_f32", 10).dtype == np.float32
+
+    def test_duplicates_distinct_count(self):
+        x = make_partition("duplicates_i64", 5000, distinct=3)
+        assert np.unique(x).size <= 3
+
+    def test_all_equal(self):
+        x = make_partition("all_equal_i64", 100, value=9)
+        assert np.all(x == 9)
+
+    def test_nearly_sorted_mostly_in_rank_range(self):
+        x = make_partition("nearly_sorted_i64", 1000, rank=2, swap_fraction=0.01)
+        in_range = np.count_nonzero((x >= 2000) & (x < 3000))
+        assert in_range >= 980
+
+    def test_zipf_skew(self):
+        x = make_partition("zipf_u64", 10000, seed=5)
+        # heavy head: the most common value covers a large share
+        _, counts = np.unique(x, return_counts=True)
+        assert counts.max() > 0.3 * x.size
+
+    def test_unknown_distribution(self):
+        with pytest.raises(KeyError):
+            make_partition("nope", 10)
+
+
+class TestPartitionLayouts:
+    def test_balanced_sums_and_spread(self):
+        sizes = balanced_sizes(10, 3)
+        assert sizes.sum() == 10
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_balanced_zero_total(self):
+        assert balanced_sizes(0, 4).sum() == 0
+
+    def test_block(self):
+        assert block_sizes(7, 3).tolist() == [7, 7, 7]
+
+    def test_geometric_decreasing(self):
+        sizes = geometric_sizes(10000, 5, ratio=0.5)
+        assert sizes.sum() == 10000
+        assert all(sizes[i] >= sizes[i + 1] for i in range(4))
+
+    def test_geometric_ratio_validation(self):
+        with pytest.raises(ValueError):
+            geometric_sizes(10, 2, ratio=0.0)
+
+    def test_sparse_every_other(self):
+        sizes = sparse_sizes(1000, 6, every=2)
+        assert sizes.sum() == 1000
+        assert sizes[1] == sizes[3] == sizes[5] == 0
+        assert sizes[0] > 0
+
+    def test_single_holder(self):
+        sizes = single_holder_sizes(500, 4, holder=2)
+        assert sizes.tolist() == [0, 0, 500, 0]
+
+    def test_single_holder_validation(self):
+        with pytest.raises(IndexError):
+            single_holder_sizes(10, 2, holder=5)
+
+    def test_balanced_validation(self):
+        with pytest.raises(ValueError):
+            balanced_sizes(10, 0)

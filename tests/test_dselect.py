@@ -1,0 +1,106 @@
+"""Distributed selection (Algorithm 1) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import dselect
+from repro.core.dselect import DSelectResult
+from repro.mpi import SPMDError
+
+
+def _run_select(run, p, parts, k, **kwargs):
+    def prog(comm):
+        return dselect(comm, parts[comm.rank], k, **kwargs)
+
+    return run(p, prog)
+
+
+class TestDSelect:
+    def test_matches_oracle_uniform(self, run, rng):
+        p = 4
+        parts = [rng.integers(0, 10**6, 3000).astype(np.int64) for _ in range(p)]
+        ref = np.sort(np.concatenate(parts))
+        for k in (0, 1, 6000, 11999):
+            out = _run_select(run, p, parts, k)
+            assert all(r.value == ref[k] for r in out)
+
+    def test_all_ranks_same_answer(self, run, rng):
+        p = 5
+        parts = [rng.normal(size=1000) for _ in range(p)]
+        out = _run_select(run, p, parts, 2500)
+        assert len({float(r.value) for r in out}) == 1
+
+    def test_empty_partitions(self, run, rng):
+        p = 4
+        parts = [
+            rng.integers(0, 100, 0 if r % 2 else 2000).astype(np.int64)
+            for r in range(p)
+        ]
+        ref = np.sort(np.concatenate([q for q in parts if q.size]))
+        out = _run_select(run, p, parts, 1234)
+        assert out[0].value == ref[1234]
+
+    def test_duplicates(self, run, rng):
+        p = 4
+        parts = [rng.integers(0, 3, 2000).astype(np.int64) for _ in range(p)]
+        ref = np.sort(np.concatenate(parts))
+        for k in (0, 4000, 7999):
+            out = _run_select(run, p, parts, k)
+            assert out[0].value == ref[k]
+
+    def test_all_equal(self, run):
+        parts = [np.full(100, 9, dtype=np.int64) for _ in range(3)]
+        out = _run_select(run, 3, parts, 150)
+        assert out[0].value == 9
+
+    def test_single_rank(self, run, rng):
+        parts = [rng.normal(size=5000)]
+        ref = np.sort(parts[0])
+        out = _run_select(run, 1, parts, 2500)
+        assert out[0].value == ref[2500]
+
+    def test_small_problem_uses_gather_fallback(self, run, rng):
+        parts = [rng.integers(0, 50, 10).astype(np.int64) for _ in range(4)]
+        out = _run_select(run, 4, parts, 20)
+        assert out[0].gathered_fallback
+        assert out[0].value == np.sort(np.concatenate(parts))[20]
+
+    def test_large_problem_iterates(self, run, rng):
+        parts = [rng.normal(size=4000) for _ in range(4)]
+        out = _run_select(run, 4, parts, 8000, cutoff=256)
+        assert out[0].rounds >= 1
+        assert out[0].value == np.sort(np.concatenate(parts))[8000]
+
+    def test_rounds_logarithmic(self, run, rng):
+        """The weighted-median pivot discards >= 1/4 per round: the round
+        count stays well below log_{4/3}(N)."""
+        p = 4
+        parts = [rng.normal(size=8000) for _ in range(p)]
+        out = _run_select(run, p, parts, 16000, cutoff=64)
+        n_total = 32000
+        assert out[0].rounds <= np.log(n_total) / np.log(4 / 3)
+
+    def test_k_out_of_range(self, run, rng):
+        parts = [rng.normal(size=10) for _ in range(2)]
+        with pytest.raises(SPMDError):
+            _run_select(run, 2, parts, 20)
+
+    def test_2d_rejected(self, run):
+        parts = [np.zeros((2, 2)) for _ in range(2)]
+        with pytest.raises(SPMDError):
+            _run_select(run, 2, parts, 0)
+
+    def test_result_type(self, run, rng):
+        parts = [rng.normal(size=100) for _ in range(2)]
+        out = _run_select(run, 2, parts, 50)
+        assert isinstance(out[0], DSelectResult)
+
+    def test_skewed_sizes(self, run, rng):
+        parts = [
+            rng.integers(0, 10**6, n).astype(np.int64)
+            for n in (10000, 10, 3000, 1)
+        ]
+        ref = np.sort(np.concatenate(parts))
+        for k in (0, 6500, 13010):
+            out = _run_select(run, 4, parts, k)
+            assert out[0].value == ref[k]

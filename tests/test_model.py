@@ -1,0 +1,109 @@
+"""Analytic model: predictions, calibration, agreement with execution."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import run_sort_trial
+from repro.machine import supermuc_phase2
+from repro.model import (
+    PhasePrediction,
+    fit_round_count,
+    predict_histsort,
+    predict_hss,
+    validate_model,
+)
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return supermuc_phase2()
+
+
+class TestPredictHistsort:
+    def test_phases_positive(self, machine):
+        pred = predict_histsort(machine, 2**28, 256, ranks_per_node=16, rounds=30)
+        for v in pred.as_dict().values():
+            assert v > 0
+        assert pred.total == pytest.approx(sum(pred.as_dict().values()))
+
+    def test_strong_scaling_speedup(self, machine):
+        t1 = predict_histsort(machine, 2**30, 28, ranks_per_node=28, rounds=30).total
+        t8 = predict_histsort(machine, 2**30, 224, ranks_per_node=28, rounds=30).total
+        assert t8 < t1
+        assert t1 / t8 > 4  # decent speedup at 8 nodes
+
+    def test_splitting_grows_with_p(self, machine):
+        s1 = predict_histsort(machine, 2**30, 28, ranks_per_node=28, rounds=30).splitting
+        s128 = predict_histsort(machine, 2**30, 3584, ranks_per_node=28, rounds=30).splitting
+        assert s128 > s1 * 10
+
+    def test_rounds_scale_splitting_linearly(self, machine):
+        a = predict_histsort(machine, 2**28, 256, ranks_per_node=16, rounds=10).splitting
+        b = predict_histsort(machine, 2**28, 256, ranks_per_node=16, rounds=30).splitting
+        assert b / a == pytest.approx(3.0, rel=0.15)
+
+    def test_merge_strategy_changes_merge_phase(self, machine):
+        sort = predict_histsort(machine, 2**28, 64, ranks_per_node=16, rounds=20)
+        tree = predict_histsort(
+            machine, 2**28, 64, ranks_per_node=16, rounds=20, merge_strategy="binary_tree"
+        )
+        assert tree.merge < sort.merge
+
+    def test_shm_ablation_direction(self, machine):
+        on = predict_histsort(machine, 2**28, 28, ranks_per_node=28, rounds=20, use_shm=True)
+        off = predict_histsort(machine, 2**28, 28, ranks_per_node=28, rounds=20, use_shm=False)
+        assert off.exchange > on.exchange
+
+    def test_single_rank(self, machine):
+        pred = predict_histsort(machine, 2**20, 1, ranks_per_node=1, rounds=0)
+        assert pred.total > 0
+
+    def test_validation(self, machine):
+        with pytest.raises(ValueError):
+            predict_histsort(machine, 100, 0, ranks_per_node=1, rounds=1)
+
+
+class TestPredictHss:
+    def test_splitting_dominated_by_rounds(self, machine):
+        a = predict_hss(machine, 2**28, 256, ranks_per_node=16, rounds=5, cand_per_round=2048)
+        b = predict_hss(machine, 2**28, 256, ranks_per_node=16, rounds=25, cand_per_round=2048)
+        assert b.splitting > a.splitting * 3
+        assert a.local_sort == b.local_sort
+
+    def test_candidate_volume_matters(self, machine):
+        small = predict_hss(machine, 2**28, 256, ranks_per_node=16, rounds=10, cand_per_round=256)
+        big = predict_hss(machine, 2**28, 256, ranks_per_node=16, rounds=10, cand_per_round=65536)
+        assert big.splitting > small.splitting
+
+
+class TestCalibration:
+    def test_fit_round_count(self):
+        class R:
+            def __init__(self, rounds):
+                self.rounds = rounds
+
+        assert fit_round_count([R(10), R(20), R(12)]) == 12
+        with pytest.raises(ValueError):
+            fit_round_count([])
+
+    def test_model_matches_execution_within_factor(self, machine):
+        """Model and runtime share the cost model: totals agree closely."""
+        from repro.core import histogram_sort
+        from repro.data import make_partition
+        from repro.mpi import run_spmd
+
+        p, n_per_rank = 32, 4096
+
+        def prog(comm):
+            local = make_partition("uniform_u64", n_per_rank, rank=comm.rank, seed=9)
+            return histogram_sort(comm, local)
+
+        results = run_spmd(p, prog, machine=machine, ranks_per_node=16)
+        fit = validate_model(
+            machine,
+            results,
+            n_total=p * n_per_rank,
+            p=p,
+            ranks_per_node=16,
+        )
+        assert 0.4 < fit.ratio < 2.5, fit

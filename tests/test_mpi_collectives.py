@@ -1,0 +1,219 @@
+"""Collective semantics of the SPMD runtime."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MAX, MIN, PROD, SUM, CommunicatorError, SPMDError, run_spmd
+
+
+class TestBcast:
+    def test_scalar(self, run):
+        def prog(comm):
+            return comm.bcast("payload" if comm.rank == 0 else None)
+
+        assert run(4, prog) == ["payload"] * 4
+
+    def test_nonzero_root(self, run):
+        def prog(comm):
+            return comm.bcast(comm.rank if comm.rank == 2 else None, root=2)
+
+        assert run(4, prog) == [2] * 4
+
+    def test_array_copies_per_rank(self, run):
+        def prog(comm):
+            arr = comm.bcast(np.arange(3) if comm.rank == 0 else None)
+            arr += comm.rank  # each rank owns its copy
+            return int(arr[0])
+
+        assert run(3, prog) == [0, 1, 2]
+
+
+class TestReduceAllreduce:
+    def test_allreduce_sum_scalar(self, run):
+        def prog(comm):
+            return comm.allreduce(comm.rank + 1)
+
+        assert run(4, prog) == [10] * 4
+
+    def test_allreduce_ops(self, run):
+        def prog(comm):
+            v = comm.rank + 1
+            return (
+                comm.allreduce(v, MIN),
+                comm.allreduce(v, MAX),
+                comm.allreduce(v, PROD),
+            )
+
+        assert run(3, prog)[0] == (1, 3, 6)
+
+    def test_allreduce_array_elementwise(self, run):
+        def prog(comm):
+            return comm.allreduce(np.array([comm.rank, 1]))
+
+        out = run(4, prog)
+        for arr in out:
+            assert np.array_equal(arr, [6, 4])
+
+    def test_allreduce_tuple_elementwise(self, run):
+        def prog(comm):
+            return comm.allreduce((comm.rank, -comm.rank), MIN)
+
+        assert run(4, prog)[0] == (0, -3)
+
+    def test_reduce_only_root_gets_value(self, run):
+        def prog(comm):
+            return comm.reduce(1, SUM, root=1)
+
+        out = run(3, prog)
+        assert out == [None, 3, None]
+
+    def test_reduce_rank_order_fold(self, run):
+        # String concatenation is non-commutative: order must be rank order.
+        from repro.mpi import ReduceOp
+
+        cat = ReduceOp("cat", lambda a, b: a + b)
+
+        def prog(comm):
+            return comm.reduce(str(comm.rank), cat, root=0)
+
+        assert run(4, prog)[0] == "0123"
+
+
+class TestGatherScatter:
+    def test_gather(self, run):
+        def prog(comm):
+            return comm.gather(comm.rank * 2, root=0)
+
+        out = run(4, prog)
+        assert out[0] == [0, 2, 4, 6]
+        assert out[1] is None
+
+    def test_allgather(self, run):
+        def prog(comm):
+            return comm.allgather(comm.rank)
+
+        assert run(3, prog) == [[0, 1, 2]] * 3
+
+    def test_scatter(self, run):
+        def prog(comm):
+            vals = [i * i for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(vals, root=0)
+
+        assert run(4, prog) == [0, 1, 4, 9]
+
+    def test_scatter_wrong_length_raises(self, run):
+        def prog(comm):
+            vals = [1] if comm.rank == 0 else None
+            return comm.scatter(vals, root=0)
+
+        with pytest.raises(SPMDError):
+            run(2, prog)
+
+
+class TestAlltoall:
+    def test_alltoall_transpose(self, run):
+        def prog(comm):
+            return comm.alltoall([f"{comm.rank}->{d}" for d in range(comm.size)])
+
+        out = run(3, prog)
+        assert out[1] == ["0->1", "1->1", "2->1"]
+
+    def test_alltoallv_roundtrip(self, run):
+        def prog(comm):
+            chunks = [np.full(d + 1, comm.rank) for d in range(comm.size)]
+            got = comm.alltoallv(chunks)
+            return [c.tolist() for c in got]
+
+        out = run(3, prog)
+        # rank 1 receives chunks of size 2 from every source
+        assert out[1] == [[0, 0], [1, 1], [2, 2]]
+
+    def test_alltoallv_wrong_count(self, run):
+        def prog(comm):
+            comm.alltoallv([np.zeros(1)])
+
+        with pytest.raises(SPMDError):
+            run(2, prog)
+
+    def test_alltoallv_empty_chunks(self, run):
+        def prog(comm):
+            chunks = [np.zeros(0) for _ in range(comm.size)]
+            got = comm.alltoallv(chunks)
+            return sum(c.size for c in got)
+
+        assert run(4, prog) == [0, 0, 0, 0]
+
+
+class TestScans:
+    def test_inclusive_scan(self, run):
+        def prog(comm):
+            return comm.scan(comm.rank + 1)
+
+        assert run(4, prog) == [1, 3, 6, 10]
+
+    def test_exscan(self, run):
+        def prog(comm):
+            return comm.exscan(comm.rank + 1)
+
+        assert run(4, prog) == [None, 1, 3, 6]
+
+    def test_scan_arrays(self, run):
+        def prog(comm):
+            return comm.scan(np.array([1, comm.rank]))
+
+        out = run(3, prog)
+        assert np.array_equal(out[2], [3, 3])
+
+
+class TestBarrierAndClocks:
+    def test_barrier_synchronizes_clocks(self, run):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.compute(1.0)
+            comm.barrier()
+            return comm.clock
+
+        clocks = run(4, prog)
+        assert min(clocks) > 1.0
+        assert max(clocks) - min(clocks) < 1e-9
+
+    def test_compute_accumulates(self, run):
+        def prog(comm):
+            comm.compute(0.5)
+            comm.compute(0.25)
+            return comm.clock
+
+        assert run(2, prog)[0] >= 0.75
+
+    def test_negative_compute_rejected(self, run):
+        def prog(comm):
+            comm.compute(-1.0)
+
+        with pytest.raises(SPMDError):
+            run(1, prog)
+
+    def test_collective_clock_monotone(self, run):
+        def prog(comm):
+            t0 = comm.clock
+            comm.allreduce(1)
+            t1 = comm.clock
+            assert t1 > t0
+            return True
+
+        assert all(run(4, prog))
+
+
+class TestStats:
+    def test_traffic_recorded(self):
+        def prog(comm):
+            comm.allreduce(np.zeros(16))
+            if comm.rank == 0:
+                comm.send(np.zeros(8), dest=1)
+            if comm.rank == 1:
+                comm.recv(source=0)
+
+        _, rt = run_spmd(2, prog, return_runtime=True)
+        summary = rt.stats.summary()
+        assert summary["msgs_sent"] == 1
+        assert summary["bytes_sent"] == 64
+        assert "allreduce" in summary["collectives"]

@@ -1,0 +1,166 @@
+"""Runtime lifecycle: split/dup, failure propagation, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import Runtime, SPMDError, run_spmd
+
+
+class TestSplit:
+    def test_split_by_parity(self, run):
+        def prog(comm):
+            sub = comm.split(comm.rank % 2, key=comm.rank)
+            return sub.size, sub.rank, sub.allreduce(comm.rank)
+
+        out = run(6, prog)
+        # evens: 0,2,4 -> sum 6 ; odds: 1,3,5 -> sum 9
+        assert out[0] == (3, 0, 6)
+        assert out[1] == (3, 0, 9)
+        assert out[4] == (3, 2, 6)
+
+    def test_split_key_reorders(self, run):
+        def prog(comm):
+            sub = comm.split(0, key=-comm.rank)  # reversed order
+            return sub.rank
+
+        assert run(4, prog) == [3, 2, 1, 0]
+
+    def test_split_undefined_color(self, run):
+        def prog(comm):
+            sub = comm.split(None if comm.rank == 0 else 1, key=comm.rank)
+            return None if sub is None else sub.size
+
+        assert run(3, prog) == [None, 2, 2]
+
+    def test_split_subcomm_isolated_p2p(self, run):
+        def prog(comm):
+            sub = comm.split(comm.rank // 2, key=comm.rank)
+            # p2p within the subcommunicator uses subgroup ranks
+            peer = 1 - sub.rank
+            return sub.sendrecv(comm.rank, dest=peer)
+
+        out = run(4, prog)
+        assert out == [1, 0, 3, 2]
+
+    def test_dup_preserves_layout(self, run):
+        def prog(comm):
+            d = comm.dup()
+            return d.rank == comm.rank and d.size == comm.size
+
+        assert all(run(4, prog))
+
+    def test_world_ranks_mapping(self, run):
+        def prog(comm):
+            sub = comm.split(comm.rank % 2, key=comm.rank)
+            return sub.world_ranks
+
+        out = run(4, prog)
+        assert out[0] == [0, 2]
+        assert out[1] == [1, 3]
+
+
+class TestFailures:
+    def test_exception_propagates_with_rank(self, run):
+        def prog(comm):
+            if comm.rank == 1:
+                raise KeyError("kaboom")
+            comm.barrier()
+
+        with pytest.raises(SPMDError) as ei:
+            run(3, prog)
+        assert 1 in ei.value.failures
+        assert isinstance(ei.value.failures[1], KeyError)
+
+    def test_failure_while_others_wait_on_recv(self, run):
+        def prog(comm):
+            if comm.rank == 0:
+                raise ValueError("no message for you")
+            comm.recv(source=0)  # would deadlock without abort
+
+        with pytest.raises(SPMDError):
+            run(2, prog)
+
+    def test_multiple_failures_collected(self, run):
+        def prog(comm):
+            raise RuntimeError(f"rank {comm.rank}")
+
+        with pytest.raises(SPMDError) as ei:
+            run(3, prog)
+        assert set(ei.value.failures) == {0, 1, 2}
+
+    def test_failure_inside_subcommunicator(self, run):
+        def prog(comm):
+            sub = comm.split(comm.rank % 2, key=comm.rank)
+            if comm.rank == 0:
+                raise ValueError("boom")
+            sub.barrier()
+            comm.barrier()
+
+        with pytest.raises(SPMDError):
+            run(4, prog)
+
+
+class TestRuntimeObject:
+    def test_results_in_rank_order(self):
+        out = run_spmd(5, lambda comm: comm.rank * 10)
+        assert out == [0, 10, 20, 30, 40]
+
+    def test_per_rank_args(self):
+        out = run_spmd(
+            3, lambda comm, a, b: (a, b),
+            per_rank_args=[("a", 0), ("b", 1), ("c", 2)],
+        )
+        assert out == [("a", 0), ("b", 1), ("c", 2)]
+
+    def test_per_rank_args_wrong_length(self):
+        rt = Runtime(2)
+        with pytest.raises(ValueError):
+            rt.run(lambda comm: None, per_rank_args=[()])
+
+    def test_common_args(self):
+        out = run_spmd(2, lambda comm, x: x + comm.rank, 100)
+        assert out == [100, 101]
+
+    def test_reset_clears_clocks(self):
+        rt = Runtime(2)
+        rt.run(lambda comm: comm.compute(1.0))
+        assert rt.elapsed() >= 1.0
+        rt.reset()
+        assert rt.elapsed() == 0.0
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            Runtime(0)
+
+    def test_invalid_rank_handle(self):
+        rt = Runtime(2)
+        with pytest.raises(IndexError):
+            rt.comm(2)
+
+    def test_return_runtime(self):
+        out, rt = run_spmd(2, lambda comm: comm.rank, return_runtime=True)
+        assert out == [0, 1]
+        assert rt.size == 2
+
+
+class TestDeterminism:
+    def test_virtual_time_deterministic(self):
+        def prog(comm):
+            rng = np.random.default_rng(comm.rank)
+            local = rng.integers(0, 1000, 500)
+            total = comm.allreduce(int(local.sum()))
+            comm.alltoallv([local[i::comm.size].copy() for i in range(comm.size)])
+            return total
+
+        runs = []
+        for _ in range(2):
+            out, rt = run_spmd(4, prog, return_runtime=True)
+            runs.append((out, rt.elapsed()))
+        assert runs[0][0] == runs[1][0]
+        assert runs[0][1] == pytest.approx(runs[1][1], rel=0, abs=0)
+
+    def test_larger_world(self, run):
+        def prog(comm):
+            return comm.allreduce(1)
+
+        assert run(32, prog) == [32] * 32

@@ -1,0 +1,114 @@
+"""The §VI-E.1 overlapped exchange+merge path."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SortConfig,
+    build_exchange_plan,
+    exchange_merge_overlap,
+    find_splitters,
+    histogram_sort,
+    one_factor_partner,
+)
+from repro.data import make_partition
+from repro.seq import check_sorted_output
+
+
+class TestOneFactorSchedule:
+    @pytest.mark.parametrize("p", [2, 4, 6, 8, 16])
+    def test_even_p_perfect_matching(self, p):
+        for r in range(p - 1):
+            partners = [one_factor_partner(rank, p, r) for rank in range(p)]
+            # involution with no fixed points: a perfect matching
+            for rank in range(p):
+                assert partners[rank] != rank
+                assert partners[partners[rank]] == rank
+
+    @pytest.mark.parametrize("p", [3, 5, 7, 9])
+    def test_odd_p_one_idle(self, p):
+        for r in range(p):
+            partners = [one_factor_partner(rank, p, r) for rank in range(p)]
+            idle = [rank for rank in range(p) if partners[rank] == rank]
+            assert len(idle) == 1
+            for rank in range(p):
+                if partners[rank] != rank:
+                    assert partners[partners[rank]] == rank
+
+    @pytest.mark.parametrize("p", [2, 4, 5, 8, 9, 16])
+    def test_every_pair_meets_exactly_once(self, p):
+        nrounds = (p - 1) if p % 2 == 0 else p
+        met = set()
+        for r in range(nrounds):
+            for rank in range(p):
+                partner = one_factor_partner(rank, p, r)
+                if partner != rank:
+                    pair = (min(rank, partner), max(rank, partner))
+                    met.add((pair, r))
+        pairs = {pair for pair, _ in met}
+        assert len(pairs) == p * (p - 1) // 2
+        assert len(met) == 2 * len(pairs) // 2  # each pair in exactly one round
+
+    def test_single_rank(self):
+        assert one_factor_partner(0, 1, 0) == 0
+
+
+class TestOverlapExchange:
+    def _run(self, run, parts):
+        p = len(parts)
+
+        def prog(comm):
+            work = np.sort(parts[comm.rank])
+            splitters = find_splitters(comm, work)
+            plan = build_exchange_plan(comm, work, splitters)
+            return exchange_merge_overlap(comm, work, plan)
+
+        return run(p, prog)
+
+    @pytest.mark.parametrize("p", [2, 3, 5, 8])
+    def test_matches_plain_path(self, run, p):
+        parts = [make_partition("uniform_u64", 900, rank=r, seed=13) for r in range(p)]
+        out = self._run(run, parts)
+        check_sorted_output(parts, [r.output for r in out])
+
+    def test_duplicates(self, run):
+        parts = [make_partition("duplicates_i64", 700, rank=r, seed=14) for r in range(4)]
+        out = self._run(run, parts)
+        check_sorted_output(parts, [r.output for r in out])
+
+    def test_overlap_accounting(self, run):
+        parts = [make_partition("uniform_u64", 3000, rank=r, seed=15) for r in range(6)]
+        out = self._run(run, parts)
+        for r in out:
+            assert r.merge_cost_total >= r.merge_cost_hidden >= 0
+            assert 0.0 <= r.overlap_ratio <= 1.0
+            assert r.rounds == 5  # even p: p-1 rounds
+
+    def test_hides_some_merge_cost(self, run):
+        parts = [make_partition("uniform_u64", 5000, rank=r, seed=16) for r in range(8)]
+        out = self._run(run, parts)
+        assert any(r.merge_cost_hidden > 0 for r in out)
+
+    def test_via_sort_config(self, run):
+        parts = [make_partition("normal_f64", 1200, rank=r, seed=17) for r in range(5)]
+
+        def prog(comm):
+            return histogram_sort(
+                comm, parts[comm.rank], config=SortConfig(overlap_exchange=True)
+            )
+
+        out = run(5, prog)
+        check_sorted_output(parts, [r.output for r in out])
+        # merge superstep fused into the exchange
+        assert all(r.phases["merge"] == 0.0 for r in out)
+
+    def test_overlap_not_slower_than_plain(self, run):
+        parts = [make_partition("uniform_u64", 8000, rank=r, seed=18) for r in range(8)]
+
+        def prog(comm, overlap):
+            cfg = SortConfig(overlap_exchange=overlap, merge_strategy="binary_tree")
+            return histogram_sort(comm, parts[comm.rank], config=cfg).time
+
+        plain = max(run(8, prog, False))
+        overlapped = max(run(8, prog, True))
+        assert overlapped <= plain * 1.3  # overlap never catastrophically worse

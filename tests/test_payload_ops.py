@@ -1,0 +1,96 @@
+"""Payload copying/sizing and reduction operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import LAND, LOR, MAX, MAXLOC, MIN, MINLOC, PROD, SUM
+from repro.mpi.payload import copy_payload, payload_nbytes
+
+
+class TestCopyPayload:
+    def test_scalars_pass_through(self):
+        for v in (None, True, 3, 2.5, "s", b"b", np.int64(7)):
+            assert copy_payload(v) is v or copy_payload(v) == v
+
+    def test_ndarray_copied(self):
+        a = np.arange(3)
+        b = copy_payload(a)
+        b[0] = 99
+        assert a[0] == 0
+
+    def test_nested_containers(self):
+        src = {"k": [np.zeros(2), (1, np.ones(1))]}
+        dst = copy_payload(src)
+        dst["k"][0][0] = 5
+        assert src["k"][0][0] == 0
+
+    def test_tuple_stays_tuple(self):
+        assert isinstance(copy_payload((1, 2)), tuple)
+
+
+class TestPayloadNbytes:
+    def test_ndarray_exact(self):
+        assert payload_nbytes(np.zeros(10, dtype=np.float64)) == 80
+
+    def test_bytes_and_str(self):
+        assert payload_nbytes(b"abcd") == 4
+        assert payload_nbytes("abcd") == 4
+
+    def test_none_is_zero(self):
+        assert payload_nbytes(None) == 0
+
+    def test_numbers(self):
+        assert payload_nbytes(3) == 8
+        assert payload_nbytes(2.5) == 8
+        assert payload_nbytes(True) == 1
+
+    def test_containers_sum(self):
+        assert payload_nbytes([np.zeros(2), np.zeros(3)]) == 40 + 8
+
+    def test_unknown_object_default(self):
+        class Thing:
+            pass
+
+        assert payload_nbytes(Thing()) == 64
+
+
+class TestReduceOps:
+    def test_sum_prod_minmax_scalars(self):
+        assert SUM(2, 3) == 5
+        assert PROD(2, 3) == 6
+        assert MIN(2, 3) == 2
+        assert MAX(2, 3) == 3
+
+    def test_logical(self):
+        assert LAND(True, False) is False
+        assert LOR(True, False) is True
+
+    def test_arrays_elementwise(self):
+        a, b = np.array([1, 5]), np.array([4, 2])
+        assert np.array_equal(MIN(a, b), [1, 2])
+        assert np.array_equal(MAX(a, b), [4, 5])
+        assert np.array_equal(SUM(a, b), [5, 7])
+
+    def test_tuples_recursive(self):
+        assert SUM((1, (2, 3)), (10, (20, 30))) == (11, (22, 33))
+
+    def test_tuple_length_mismatch(self):
+        with pytest.raises(ValueError):
+            SUM((1, 2), (1,))
+
+    def test_minloc_maxloc(self):
+        assert MINLOC((3, 0), (1, 2)) == (1, 2)
+        assert MINLOC((1, 0), (1, 2)) == (1, 0)  # tie -> lower loc
+        assert MAXLOC((3, 0), (5, 2)) == (5, 2)
+        assert MAXLOC((5, 0), (5, 2)) == (5, 0)
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_fold_matches_python(self, xs):
+        import functools
+
+        assert functools.reduce(SUM, xs) == sum(xs)
+        assert functools.reduce(MIN, xs) == min(xs)
+        assert functools.reduce(MAX, xs) == max(xs)

@@ -1,0 +1,114 @@
+"""Histogram search helpers and output-contract checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seq import (
+    balance_violation,
+    check_sorted_output,
+    counts_between,
+    is_globally_sorted,
+    is_permutation,
+    is_sorted,
+    local_histogram,
+    rank_of,
+)
+
+
+class TestLocalHistogram:
+    def test_bounds_semantics(self):
+        part = np.array([1, 3, 3, 5, 9])
+        lo, up = local_histogram(part, np.array([0, 3, 5, 10]))
+        assert lo.tolist() == [0, 1, 3, 5]  # strictly below
+        assert up.tolist() == [0, 3, 4, 5]  # at or below
+
+    def test_empty_partition(self):
+        lo, up = local_histogram(np.array([]), np.array([1, 2]))
+        assert lo.tolist() == [0, 0]
+        assert up.tolist() == [0, 0]
+
+    def test_empty_probes(self):
+        lo, up = local_histogram(np.arange(5), np.array([]))
+        assert lo.size == 0 and up.size == 0
+
+    def test_rank_of(self):
+        part = np.array([2, 2, 4])
+        assert rank_of(part, 2) == (0, 2)
+        assert rank_of(part, 3) == (2, 2)
+
+    def test_counts_between(self):
+        part = np.array([1, 2, 3, 4, 5])
+        assert counts_between(part, 1, 5) == 3  # open interval
+        assert counts_between(part, 0, 6) == 5
+        assert counts_between(part, 3, 3) == 0
+
+    @given(
+        part=st.lists(st.integers(0, 20), max_size=60).map(sorted),
+        probes=st.lists(st.integers(-5, 25), max_size=10),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_counting(self, part, probes):
+        arr = np.array(part, dtype=np.int64)
+        pr = np.array(probes, dtype=np.int64)
+        lo, up = local_histogram(arr, pr)
+        for i, v in enumerate(probes):
+            assert lo[i] == np.count_nonzero(arr < v)
+            assert up[i] == np.count_nonzero(arr <= v)
+
+
+class TestChecks:
+    def test_is_sorted(self):
+        assert is_sorted(np.array([1, 1, 2]))
+        assert not is_sorted(np.array([2, 1]))
+        assert is_sorted(np.array([]))
+        assert is_sorted(np.array([5]))
+
+    def test_globally_sorted_ok(self):
+        assert is_globally_sorted([np.array([1, 2]), np.array([2, 3]), np.array([])])
+
+    def test_globally_sorted_boundary_violation(self):
+        assert not is_globally_sorted([np.array([1, 5]), np.array([4, 6])])
+
+    def test_globally_sorted_local_violation(self):
+        assert not is_globally_sorted([np.array([2, 1])])
+
+    def test_globally_sorted_with_empty_middle(self):
+        assert is_globally_sorted([np.array([1]), np.array([]), np.array([2])])
+
+    def test_permutation(self):
+        ins = [np.array([3, 1]), np.array([2])]
+        outs = [np.array([1, 2]), np.array([3])]
+        assert is_permutation(ins, outs)
+        assert not is_permutation(ins, [np.array([1, 2]), np.array([4])])
+        assert not is_permutation(ins, [np.array([1, 2])])
+
+    def test_permutation_both_empty(self):
+        assert is_permutation([np.array([])], [])
+
+    def test_balance_violation_perfect(self):
+        assert balance_violation([10, 10], [10, 10], eps=0.0) == 0
+        assert balance_violation([11, 9], [10, 10], eps=0.0) == 1
+
+    def test_balance_violation_with_eps(self):
+        # tol per boundary = eps*N/(2P); size slack = 2*tol
+        n, p, eps = 1000, 2, 0.1
+        slack = 2 * int(eps * n / (2 * p))  # 50
+        assert balance_violation([500 + slack, 500 - slack], [500, 500], eps) == 0
+        assert balance_violation([500 + slack + 1, 500 - slack - 1], [500, 500], eps) == 1
+
+    def test_balance_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            balance_violation([1], [1, 2], 0.0)
+
+    def test_check_sorted_output_passes(self):
+        ins = [np.array([3, 1]), np.array([2, 0])]
+        outs = [np.array([0, 1]), np.array([2, 3])]
+        check_sorted_output(ins, outs)
+
+    def test_check_sorted_output_raises(self):
+        ins = [np.array([3, 1]), np.array([2, 0])]
+        bad = [np.array([2, 3]), np.array([0, 1])]
+        with pytest.raises(AssertionError):
+            check_sorted_output(ins, bad)

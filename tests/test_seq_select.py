@@ -1,0 +1,121 @@
+"""Selection kernels vs the NumPy oracle, including property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.seq import floyd_rivest, median_of_medians, nsmallest_value, quickselect
+
+ALGOS = [quickselect, median_of_medians, floyd_rivest, nsmallest_value]
+
+
+@pytest.mark.parametrize("select", ALGOS, ids=lambda f: f.__name__)
+class TestSelectionBasics:
+    def test_singleton(self, select):
+        assert select(np.array([42]), 0) == 42
+
+    def test_two_elements(self, select):
+        x = np.array([5, 3])
+        assert select(x, 0) == 3
+        assert select(x, 1) == 5
+
+    def test_sorted_input(self, select):
+        x = np.arange(100)
+        for k in (0, 1, 50, 98, 99):
+            assert select(x, k) == k
+
+    def test_reverse_sorted(self, select):
+        x = np.arange(100)[::-1].copy()
+        assert select(x, 10) == 10
+
+    def test_all_equal(self, select):
+        x = np.full(257, 7)
+        assert select(x, 0) == 7
+        assert select(x, 128) == 7
+        assert select(x, 256) == 7
+
+    def test_heavy_duplicates(self, select, rng):
+        x = rng.integers(0, 3, 1000)
+        ref = np.sort(x)
+        for k in (0, 250, 500, 750, 999):
+            assert select(x, k) == ref[k]
+
+    def test_floats(self, select, rng):
+        x = rng.normal(size=777)
+        ref = np.sort(x)
+        for k in (0, 388, 776):
+            assert select(x, k) == ref[k]
+
+    def test_large_uniform(self, select, rng):
+        x = rng.integers(0, 10**9, 20000).astype(np.uint64)
+        ref = np.sort(x)
+        for k in (0, 9999, 19999):
+            assert select(x, k) == ref[k]
+
+    def test_does_not_mutate_input(self, select, rng):
+        x = rng.normal(size=500)
+        before = x.copy()
+        select(x, 250)
+        assert np.array_equal(x, before)
+
+    def test_k_out_of_range(self, select):
+        with pytest.raises(IndexError):
+            select(np.arange(5), 5)
+        with pytest.raises(IndexError):
+            select(np.arange(5), -1)
+
+    def test_empty_rejected(self, select):
+        with pytest.raises(ValueError):
+            select(np.array([]), 0)
+
+    def test_2d_rejected(self, select):
+        with pytest.raises(ValueError):
+            select(np.zeros((2, 2)), 0)
+
+
+class TestSelectionProperties:
+    @given(
+        xs=hnp.arrays(np.int64, st.integers(1, 300), elements=st.integers(-1000, 1000)),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_quickselect_matches_sort(self, xs, data):
+        k = data.draw(st.integers(0, len(xs) - 1))
+        assert quickselect(xs, k) == np.sort(xs)[k]
+
+    @given(
+        xs=hnp.arrays(np.int64, st.integers(1, 200), elements=st.integers(-50, 50)),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_median_of_medians_matches_sort(self, xs, data):
+        k = data.draw(st.integers(0, len(xs) - 1))
+        assert median_of_medians(xs, k) == np.sort(xs)[k]
+
+    @given(
+        xs=hnp.arrays(
+            np.float64,
+            st.integers(1, 400),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_floyd_rivest_matches_sort(self, xs, data):
+        k = data.draw(st.integers(0, len(xs) - 1))
+        assert floyd_rivest(xs, k) == np.sort(xs)[k]
+
+    def test_floyd_rivest_beyond_cutoff(self, rng):
+        # exercise the sampling path (> 600 elements)
+        x = rng.normal(size=50_000)
+        ref = np.sort(x)
+        for k in (0, 25_000, 49_999):
+            assert floyd_rivest(x, k) == ref[k]
+
+    def test_quickselect_deterministic_given_rng(self, rng):
+        x = rng.normal(size=5000)
+        r1 = quickselect(x, 1234, rng=np.random.default_rng(1))
+        r2 = quickselect(x, 1234, rng=np.random.default_rng(1))
+        assert r1 == r2

@@ -1,0 +1,103 @@
+"""Weighted median (Definition 2) unit + property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seq import is_weighted_median, weighted_median
+
+
+class TestWeightedMedianBasics:
+    def test_uniform_weights_give_lower_median(self):
+        assert weighted_median(np.array([1, 2, 3, 4]), np.ones(4)) == 2
+
+    def test_odd_uniform_weights_give_median(self):
+        assert weighted_median(np.array([5, 1, 3]), np.ones(3)) == 3
+
+    def test_heavy_weight_dominates(self):
+        v = np.array([1, 2, 100])
+        w = np.array([1, 1, 10])
+        assert weighted_median(v, w) == 100
+
+    def test_definition2_example(self):
+        # half mass below must stay strictly < 1/2
+        v = np.array([1, 2])
+        w = np.array([1, 1])
+        m = weighted_median(v, w)
+        assert m == 1
+        assert is_weighted_median(v, w, 1)
+        assert not is_weighted_median(v, w, 2)
+
+    def test_duplicate_values_merge_mass(self):
+        v = np.array([5, 5, 1])
+        w = np.array([1, 1, 6])
+        assert weighted_median(v, w) == 1
+
+    def test_zero_weight_entries_ignored(self):
+        v = np.array([100, 1, 2, 3])
+        w = np.array([0, 1, 1, 1])
+        assert weighted_median(v, w) == 2
+
+    def test_single_element(self):
+        assert weighted_median(np.array([9]), np.array([2.5])) == 9
+
+    def test_unsorted_input(self):
+        v = np.array([9, 1, 5, 3, 7])
+        assert weighted_median(v, np.ones(5)) == 5
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            weighted_median(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            weighted_median(np.array([1]), np.array([-1]))
+        with pytest.raises(ValueError):
+            weighted_median(np.array([1]), np.array([0]))
+        with pytest.raises(ValueError):
+            weighted_median(np.array([1, 2]), np.array([1]))
+
+
+class TestWeightedMedianProperties:
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(-50, 50), st.integers(0, 10)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_result_satisfies_definition(self, pairs):
+        v = np.array([p[0] for p in pairs], dtype=np.int64)
+        w = np.array([p[1] for p in pairs], dtype=np.int64)
+        if w.sum() == 0:
+            w[0] = 1
+        m = weighted_median(v, w)
+        assert is_weighted_median(v, w, m)
+        assert m in v
+
+    @given(
+        vals=st.lists(st.integers(-100, 100), min_size=1, max_size=31, unique=True)
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_unit_weights_equal_lower_median(self, vals):
+        v = np.array(vals, dtype=np.int64)
+        m = weighted_median(v, np.ones(len(vals)))
+        ref = np.sort(v)[(len(vals) - 1) // 2]
+        assert m == ref
+
+    def test_discards_at_least_quarter(self, rng):
+        """The DSELECT guarantee: the weighted median of per-partition
+        medians (weighted by sizes) discards >= 1/4 of the elements."""
+        for _ in range(25):
+            parts = [
+                rng.normal(size=rng.integers(1, 200)) for _ in range(rng.integers(2, 9))
+            ]
+            meds = np.array([np.sort(p)[p.size // 2] for p in parts])
+            sizes = np.array([p.size for p in parts], dtype=np.float64)
+            m = weighted_median(meds, sizes)
+            everything = np.concatenate(parts)
+            below = np.count_nonzero(everything < m)
+            above = np.count_nonzero(everything > m)
+            n = everything.size
+            assert below <= 3 * n / 4 + 1
+            assert above <= 3 * n / 4 + 1
