@@ -48,12 +48,14 @@ def bitonic_sort(comm: "Comm", local: np.ndarray) -> BaselineResult:
     stages = 0
     moved = 0
     tag = 0
+    tracer = comm.tracer
     for i in range(d):
         for j in range(i, -1, -1):
             tag += 1
             stages += 1
             partner = comm.rank ^ (1 << j)
             ascending = ((comm.rank >> (i + 1)) & 1) == 0
+            t_stage = comm.clock
             other = comm.sendrecv(work, partner, tag=tag)
             moved += int(work.size)
             merged = merge_two_sorted(work, other)
@@ -61,6 +63,7 @@ def bitonic_sort(comm: "Comm", local: np.ndarray) -> BaselineResult:
             keep_low = ascending == (comm.rank < partner)
             n_keep = int(work.size)
             work = merged[:n_keep] if keep_low else merged[merged.size - n_keep :]
+            tracer.record("compare_split", t_stage, stage=stages, partner=partner)
     timer.mark("exchange")
 
     return BaselineResult(

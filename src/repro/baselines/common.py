@@ -38,9 +38,12 @@ def exchange_by_splitters(
     comm: "Comm", local_sorted: np.ndarray, splitter_values: np.ndarray
 ) -> list[np.ndarray]:
     """Cut a sorted partition at the splitters and run the ALL-TO-ALLV."""
+    t0 = comm.clock
     counts = partition_counts(local_sorted, splitter_values)
     offsets = np.concatenate(([0], np.cumsum(counts)))
     chunks = [
         local_sorted[offsets[d] : offsets[d + 1]] for d in range(comm.size)
     ]
-    return comm.alltoallv(chunks)
+    received = comm.alltoallv(chunks)
+    comm.tracer.record("exchange_data", t0, elements_sent=int(counts.sum()))
+    return received

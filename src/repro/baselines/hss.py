@@ -130,7 +130,9 @@ def hss_sort(
 
     rounds = 0
     probes_total = 0
+    tracer = comm.tracer
     while active.any() and rounds < max_rounds:
+        t_round = comm.clock
         rounds += 1
         act = np.flatnonzero(active)
         # Sampled probe generation (the "sampling" of HSS); one gathering
@@ -207,6 +209,13 @@ def hss_sort(
                 if cand[j] < hi_val[i]:
                     hi_val[i], hi_rank[i] = cand[j], int(L[j])
         comm.compute(compute.call_overhead + 2.0e-9 * int(cand.size))
+        tracer.record(
+            "hss_round",
+            t_round,
+            round=rounds,
+            candidates=int(cand.size),
+            open=int(active.sum()),
+        )
 
     converged = not active.any()
     if not converged:

@@ -9,7 +9,6 @@ split per round whose linear cost §III-C criticizes.
 
 from __future__ import annotations
 
-import math
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -74,7 +73,9 @@ def hyksort(
     sub = comm
     rounds = 0
     moved = 0
+    tracer = comm.tracer
     while sub.size > 1:
+        t_round = comm.clock
         rounds += 1
         kk = min(k, sub.size)
         # Subgroup sizes as equal as possible.
@@ -115,6 +116,7 @@ def hyksort(
         new_sub = sub.split(my_group, sub.rank)
         assert new_sub is not None
         sub = new_sub
+        tracer.record("hyk_round", t_round, round=rounds, group=my_group, k=kk)
     timer.mark("exchange")
 
     return BaselineResult(

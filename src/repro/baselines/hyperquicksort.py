@@ -40,7 +40,9 @@ def hyperquicksort(comm: "Comm", local: np.ndarray) -> BaselineResult:
     sub = comm
     moved = 0
     rounds = 0
+    tracer = comm.tracer
     while sub.size > 1:
+        t_round = comm.clock
         rounds += 1
         half = sub.size // 2
         # Pivot: median of the subcube's first rank (classic formulation).
@@ -69,6 +71,7 @@ def hyperquicksort(comm: "Comm", local: np.ndarray) -> BaselineResult:
         sub2 = sub.split(0 if in_low_half else 1, sub.rank)
         assert sub2 is not None
         sub = sub2
+        tracer.record("hq_round", t_round, round=rounds, partner=partner)
     timer.mark("exchange")
 
     return BaselineResult(

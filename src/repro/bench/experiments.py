@@ -31,12 +31,12 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core import SortConfig, SplitterConfig, find_splitters
+from ..core import SplitterConfig, find_splitters
 from ..data import make_partition
 from ..machine import supermuc_phase2
 from ..model import predict_histsort, predict_hss
 from ..mpi import run_spmd
-from .harness import median_ci, repeat_sort_trials
+from .harness import repeat_sort_trials
 from .results import Series
 
 __all__ = [

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -115,8 +116,15 @@ def run_sort_trial(
     ranks_per_node: int | None = None,
     config: SortConfig | None = None,
     use_shm: bool = True,
+    trace_path: str | Path | None = None,
 ) -> TrialResult:
-    """Execute one distributed sort and collect virtual-time statistics."""
+    """Execute one distributed sort and collect virtual-time statistics.
+
+    ``trace_path`` enables event tracing for the run and writes a
+    Chrome-trace JSON there (open it in Perfetto, or summarize it with
+    ``python -m repro.trace.report``).  Tracing does not perturb the
+    modelled times.
+    """
     if algo not in _ALGOS:
         raise KeyError(f"unknown algo {algo!r}; available: {sorted(_ALGOS)}")
     results, rt = run_spmd(
@@ -131,7 +139,12 @@ def run_sort_trial(
         ranks_per_node=ranks_per_node,
         use_shm=use_shm,
         return_runtime=True,
+        trace=trace_path is not None,
     )
+    if trace_path is not None and rt.trace is not None:
+        from ..trace.export import write_chrome_trace
+
+        write_chrome_trace(trace_path, rt.trace)
     phases = combine_phases([r["phases"] for r in results], how="max")
     return TrialResult(
         total=rt.elapsed(),
@@ -149,12 +162,22 @@ def repeat_sort_trials(
     repeats: int = 5,
     warmup: int = 1,
     seed0: int = 100,
+    trace_dir: str | Path | None = None,
     **kwargs: Any,
 ) -> tuple[RepeatStats, list[TrialResult]]:
-    """Repeat a trial over seeds; returns (stats over totals, all trials)."""
+    """Repeat a trial over seeds; returns (stats over totals, all trials).
+
+    ``trace_dir`` dumps one Chrome-trace JSON per execution (warmup
+    included) as ``trial_<i>_seed<seed>.json`` under that directory.
+    """
     trials: list[TrialResult] = []
     for i in range(warmup + repeats):
-        trial = run_sort_trial(p, n_per_rank, seed=seed0 + i, **kwargs)
+        trace_path = None
+        if trace_dir is not None:
+            trace_path = Path(trace_dir) / f"trial_{i}_seed{seed0 + i}.json"
+        trial = run_sort_trial(
+            p, n_per_rank, seed=seed0 + i, trace_path=trace_path, **kwargs
+        )
         if i >= warmup:
             trials.append(trial)
     stats = median_ci([t.total for t in trials])

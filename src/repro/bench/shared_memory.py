@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..machine import single_node
 from ..model import predict_histsort

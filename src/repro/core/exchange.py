@@ -70,6 +70,7 @@ def build_exchange_plan(
             recv_counts=counts.copy(),
         )
 
+    t_plan = comm.clock
     # Local bounds of every splitter value: lb = keys strictly below,
     # ub = keys at-or-below; the difference is this rank's share of the
     # boundary's duplicate run.
@@ -96,6 +97,7 @@ def build_exchange_plan(
     recv_counts = np.asarray(
         comm.alltoall([int(c) for c in send_counts]), dtype=np.int64
     )
+    comm.tracer.record("exchange_plan", t_plan, elements=int(send_counts.sum()))
 
     return ExchangePlan(
         cuts=my_cuts,
@@ -109,10 +111,17 @@ def exchange(
 ) -> list[np.ndarray]:
     """Run the single ALL-TO-ALLV round; returns the received sorted chunks."""
     local_sorted = np.asarray(local_sorted)
+    t_data = comm.clock
     chunks = [
         local_sorted[plan.cuts[d] : plan.cuts[d + 1]] for d in range(comm.size)
     ]
     received = comm.alltoallv(chunks)
+    comm.tracer.record(
+        "exchange_data",
+        t_data,
+        elements_sent=plan.elements_sent,
+        elements_received=plan.elements_received,
+    )
     expected = plan.recv_counts
     got = np.array([c.size for c in received], dtype=np.int64)
     if not np.array_equal(got, expected):

@@ -11,14 +11,14 @@ material of the Fig. 2(b)/3(b) phase breakdowns.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from ..trace.timer import PhaseTimer
 from .config import SortConfig
-from .exchange import ExchangePlan, build_exchange_plan, exchange
+from .exchange import build_exchange_plan, exchange
 from .keys import pack_keys, plan_packing, unpack_keys
 from .merge import local_merge
 from .multiselect import SplitterResult, find_splitters
@@ -69,6 +69,10 @@ def histogram_sort(
     local = np.asarray(local)
     if local.ndim != 1:
         raise ValueError("local partition must be 1-D")
+    if config.trace:
+        comm.ensure_tracing()
+    tracer = comm.tracer
+    t_begin = comm.clock
     compute = comm.cost.compute
     timer = PhaseTimer(comm)
 
@@ -117,6 +121,13 @@ def histogram_sort(
     timer.mark("merge")
 
     phases = {name: timer.phases.get(name, 0.0) for name in PHASES}
+    tracer.record(
+        "histogram_sort",
+        t_begin,
+        rounds=splitters.rounds,
+        n=int(local.size),
+        overlap=bool(config.overlap_exchange),
+    )
     itemsize = int(work.dtype.itemsize)
     return SortResult(
         output=merged,

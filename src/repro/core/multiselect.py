@@ -24,7 +24,7 @@ is still available in :mod:`repro.core.keys`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -240,7 +240,9 @@ def find_splitters(
 
     rounds = 0
     probes_total = 0
+    tracer = comm.tracer
     while active.any():
+        t_round = comm.clock
         rounds += 1
         if rounds > config.max_rounds:
             raise SplitterConvergenceError(
@@ -285,6 +287,13 @@ def find_splitters(
         if config.cross_probe and active.any():
             _cross_probe_tighten(lo, hi, probes, L, U, targets, tol, active)
         comm.compute(compute.call_overhead + 2.0e-9 * m)
+        tracer.record(
+            "histogram_round",
+            t_round,
+            round=rounds,
+            probes=int(m),
+            open=int(active.sum()),
+        )
 
     return SplitterResult(
         values=values,

@@ -90,10 +90,12 @@ def exchange_merge_overlap(
     merge_total = 0.0
     merge_hidden = 0.0
     debt = 0.0  # merge work not yet paid for nor hidden
+    tracer = comm.tracer
     for r in range(nrounds):
         partner = one_factor_partner(comm.rank, p, r)
         if partner == comm.rank:
             continue  # idle round (odd p)
+        t_round = comm.clock
         t0 = comm.clock
         incoming = comm.sendrecv(chunks[partner], partner, tag=1000 + r)
         comm_window = max(comm.clock - t0, 0.0)
@@ -110,6 +112,7 @@ def exchange_merge_overlap(
         cost = compute.merge_pass(acc.size)
         merge_total += cost
         debt = cost
+        tracer.record("overlap_round", t_round, round=r, partner=partner)
     if debt > 0:
         comm.compute(debt)  # the last merge has nothing to hide behind
 

@@ -20,7 +20,7 @@ which is the ablation studied in ``benchmarks/bench_ablations.py``.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np

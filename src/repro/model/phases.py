@@ -19,7 +19,6 @@ analysis:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from ..machine.cost import CostModel

@@ -24,11 +24,12 @@ from __future__ import annotations
 
 import functools
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from ..trace.events import NULL_TRACER, NullTracer, RankTracer
 from .errors import Aborted, CommunicatorError
 from .ops import SUM, ReduceOp
 from .payload import copy_payload, payload_nbytes
@@ -76,7 +77,24 @@ class _CommState:
         self.cell: Any = None
         self.mailboxes = [_Mailbox() for _ in range(self.size)]
         self.aborted = False
+        #: serial number of this communicator (set by the runtime registry);
+        #: together with the per-rank collective sequence number it matches
+        #: the spans of one collective invocation across ranks.
+        self.trace_id = -1
+        self._seq = [0] * self.size
+        self._entry_max = 0.0
+        self._span_level: str | None = None
         runtime._register_state(self)
+
+    def _group_level(self) -> str:
+        """Locality level spanned by this communicator (cached)."""
+        if self._span_level is None:
+            placement = getattr(self.runtime.cost, "placement", None)
+            if placement is None or self.size == 1:
+                self._span_level = "self"
+            else:
+                self._span_level = placement.span_level(self.world_ranks).name.lower()
+        return self._span_level
 
     def abort(self) -> None:
         self.aborted = True
@@ -91,13 +109,28 @@ class _CommState:
         deposit: Any,
         leader_fn: Callable[[list[Any]], Any],
         extract_fn: Callable[[list[Any], Any, int], Any],
+        trace_name: str | None = None,
+        trace_bytes: int = 0,
     ) -> Any:
         if self.aborted:
             raise Aborted("communicator already aborted")
+        rt = self.runtime
+        rec = rt.trace
+        if rec is not None:
+            wrank = self.world_ranks[idx]
+            t0 = float(rt.clocks[wrank])
+            seq = self._seq[idx]
+            self._seq[idx] = seq + 1
         self.slots[idx] = deposit
         try:
             who = self.barrier.wait()
             if who == 0:
+                # Entry clocks are still untouched here (extract sets the
+                # new ones after barrier B), so the leader can publish the
+                # last arrival for every rank's idle accounting; barrier B
+                # orders this write before the readers below.
+                if rec is not None:
+                    self._entry_max = float(rt.clocks[self.world_ranks].max())
                 try:
                     self.cell = leader_fn(self.slots)
                 except BaseException:
@@ -112,6 +145,24 @@ class _CommState:
             self.barrier.wait()
         except threading.BrokenBarrierError:
             raise Aborted("runtime aborted during a collective") from None
+        if rec is not None and trace_name is not None:
+            t1 = float(rt.clocks[wrank])
+            last = self._entry_max
+            idle = min(max(last - t0, 0.0), max(t1 - t0, 0.0))
+            rec.record(
+                wrank,
+                trace_name,
+                "collective",
+                t0,
+                t1,
+                idle=idle,
+                bytes=int(trace_bytes),
+                nranks=self.size,
+                level=self._group_level(),
+                comm=self.trace_id,
+                seq=seq,
+                last_arrival=last,
+            )
         return out
 
 
@@ -150,6 +201,31 @@ class Comm:
         """The runtime's :class:`~repro.machine.cost.CostModel`."""
         return self._rt.cost
 
+    # -------------------------------------------------------------- tracing
+
+    @property
+    def tracer(self) -> "RankTracer | NullTracer":
+        """This rank's span tracer (a shared no-op when tracing is off)."""
+        rec = self._rt.trace
+        if rec is None:
+            return NULL_TRACER
+        return rec.tracer(self.world_rank)
+
+    @property
+    def trace_recorder(self):
+        """The runtime's :class:`~repro.trace.TraceRecorder`, or ``None``."""
+        return self._rt.trace
+
+    def ensure_tracing(self):
+        """Enable tracing on the runtime (idempotent, collective-safe)."""
+        return self._rt.enable_tracing()
+
+    def _pair_level(self, world_peer: int) -> str:
+        placement = getattr(self._rt.cost, "placement", None)
+        if placement is None:
+            return "self"
+        return placement.level(self.world_rank, world_peer).name.lower()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Comm rank {self._rank}/{self.size} (world {self.world_rank})>"
 
@@ -168,8 +244,13 @@ class Comm:
         """Charge ``seconds`` of modelled local compute to this rank."""
         if seconds < 0:
             raise ValueError("compute time must be >= 0")
-        self._rt.clocks[self.world_rank] += seconds
-        self._rt.stats.compute_time[self.world_rank] += seconds
+        wr = self.world_rank
+        rec = self._rt.trace
+        t0 = float(self._rt.clocks[wr]) if rec is not None else 0.0
+        self._rt.clocks[wr] += seconds
+        self._rt.stats.record_compute(wr, seconds)
+        if rec is not None:
+            rec.record(wr, "compute", "compute", t0, float(self._rt.clocks[wr]))
 
     # ------------------------------------------------------------------- p2p
 
@@ -177,10 +258,25 @@ class Comm:
         """Buffered (eager) send: never blocks."""
         self._check_peer(dest)
         nbytes = payload_nbytes(obj)
-        departure = self.clock + self._rt.cost.software_overhead
+        t0 = self.clock
+        departure = t0 + self._rt.cost.software_overhead
         self.clock = departure
         msg = _Message(self._rank, tag, copy_payload(obj), departure, nbytes)
         self._rt.stats.record_send(self.world_rank, nbytes)
+        rec = self._rt.trace
+        if rec is not None:
+            wdest = self._state.world_ranks[dest]
+            rec.record(
+                self.world_rank,
+                "send",
+                "p2p",
+                t0,
+                departure,
+                peer=wdest,
+                tag=tag,
+                bytes=nbytes,
+                level=self._pair_level(wdest),
+            )
         mb = self._state.mailboxes[dest]
         with mb.cond:
             mb.messages.append(msg)
@@ -192,10 +288,13 @@ class Comm:
         tag: int = ANY_TAG,
         *,
         return_status: bool = False,
+        _span_name: str = "recv",
     ) -> Any:
         """Blocking receive; with ``return_status`` returns ``(obj, (src, tag))``."""
         if source != ANY_SOURCE:
             self._check_peer(source)
+        rec = self._rt.trace
+        t0 = self.clock if rec is not None else 0.0
         mb = self._state.mailboxes[self._rank]
         with mb.cond:
             while True:
@@ -205,10 +304,28 @@ class Comm:
                 if msg is not None:
                     break
                 mb.cond.wait()
-        cost = self._rt.cost.ptp(
-            self._state.world_ranks[msg.src], self.world_rank, msg.nbytes
-        )
+        wsrc = self._state.world_ranks[msg.src]
+        cost = self._rt.cost.ptp(wsrc, self.world_rank, msg.nbytes)
         self.clock = max(self.clock, msg.departure + cost)
+        if rec is not None:
+            # The rank blocks from t0 until the message departs, then pays
+            # the transfer: idle is the blocked share, the remainder is
+            # transfer time (both zero if the message completed in the past).
+            t1 = self.clock
+            idle = max(0.0, min(msg.departure, t1) - t0) if t1 > t0 else 0.0
+            rec.record(
+                self.world_rank,
+                _span_name,
+                "p2p",
+                t0,
+                t1,
+                src=wsrc,
+                tag=msg.tag,
+                bytes=msg.nbytes,
+                departure=msg.departure,
+                idle=idle,
+                level=self._pair_level(wsrc),
+            )
         if return_status:
             return msg.payload, (msg.src, msg.tag)
         return msg.payload
@@ -271,7 +388,14 @@ class Comm:
                 return None
             return copy_payload(result) if result_for_all else result
 
-        return state.collective(self._rank, deposit, leader, extract)
+        return state.collective(
+            self._rank,
+            deposit,
+            leader,
+            extract,
+            trace_name=name,
+            trace_bytes=payload_nbytes(deposit),
+        )
 
     def barrier(self) -> None:
         """Synchronize all ranks (and their virtual clocks)."""
@@ -356,7 +480,14 @@ class Comm:
             rt.clocks[ranks[idx]] = newclock
             return copy_payload(vals[idx])
 
-        return state.collective(self._rank, values if self._rank == root else None, leader, extract)
+        return state.collective(
+            self._rank,
+            values if self._rank == root else None,
+            leader,
+            extract,
+            trace_name="scatter",
+            trace_bytes=payload_nbytes(values) if self._rank == root else 0,
+        )
 
     def alltoall(self, values: Sequence[Any]) -> list[Any]:
         """Personalized exchange of one payload per peer."""
@@ -378,7 +509,14 @@ class Comm:
             rt.clocks[ranks[idx]] = newclock
             return [copy_payload(slots[j][idx]) for j in range(state.size)]
 
-        return state.collective(self._rank, list(values), leader, extract)
+        return state.collective(
+            self._rank,
+            list(values),
+            leader,
+            extract,
+            trace_name="alltoall",
+            trace_bytes=payload_nbytes(list(values)),
+        )
 
     def alltoallv(self, chunks: Sequence[np.ndarray]) -> list[np.ndarray]:
         """Irregular personalized exchange of NumPy arrays.
@@ -408,7 +546,14 @@ class Comm:
             rt.clocks[ranks[idx]] = newclocks[idx]
             return [slots[j][idx].copy() for j in range(state.size)]
 
-        return state.collective(self._rank, chunks, leader, extract)
+        return state.collective(
+            self._rank,
+            chunks,
+            leader,
+            extract,
+            trace_name="alltoallv",
+            trace_bytes=int(sum(c.nbytes for c in chunks)),
+        )
 
     def scan(self, value: Any, op: ReduceOp = SUM) -> Any:
         """Inclusive prefix reduction over ranks."""
@@ -431,7 +576,10 @@ class Comm:
             rt.clocks[ranks[idx]] = newclock
             return copy_payload(prefix[idx])
 
-        return state.collective(self._rank, value, leader, extract)
+        return state.collective(
+            self._rank, value, leader, extract,
+            trace_name="scan", trace_bytes=payload_nbytes(value),
+        )
 
     def exscan(self, value: Any, op: ReduceOp = SUM) -> Any:
         """Exclusive prefix reduction; rank 0 receives ``None``."""
@@ -455,7 +603,10 @@ class Comm:
             rt.clocks[ranks[idx]] = newclock
             return copy_payload(prefix[idx])
 
-        return state.collective(self._rank, value, leader, extract)
+        return state.collective(
+            self._rank, value, leader, extract,
+            trace_name="exscan", trace_bytes=payload_nbytes(value),
+        )
 
     # -------------------------------------------------------- comm management
 
@@ -492,7 +643,10 @@ class Comm:
             new_state, new_rank = assignment[idx]
             return Comm(new_state, new_rank)
 
-        return state.collective(self._rank, (color, key), leader, extract)
+        return state.collective(
+            self._rank, (color, key), leader, extract,
+            trace_name="split", trace_bytes=16,
+        )
 
     def dup(self) -> "Comm":
         """Duplicate the communicator (fresh collective/p2p context)."""

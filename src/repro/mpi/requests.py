@@ -42,7 +42,9 @@ class _IRecvRequest(Request):
 
     def wait(self) -> Any:
         if not self._done:
-            self._payload = self._comm.recv(self._source, self._tag)
+            # Traced under the "wait" span name so blocked time on request
+            # completion is distinguishable from a plain blocking recv.
+            self._payload = self._comm.recv(self._source, self._tag, _span_name="wait")
             self._done = True
         return self._payload
 

@@ -23,12 +23,19 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from ..machine import CostModel, MachineSpec, abstract_cluster, make_placement
+from ..trace.events import TraceRecorder
 from .comm import Comm, _CommState
 from .errors import Aborted, SPMDError
 
 
 class Stats:
-    """Per-rank and aggregate communication statistics."""
+    """Per-rank and aggregate communication statistics.
+
+    All mutators take ``_lock``: ranks are concurrent threads and the
+    counters must stay exact under interleaved sends, computes, and
+    collectives (snapshots — :class:`repro.trace.TrafficSnapshot` — read
+    under the same lock).
+    """
 
     def __init__(self, size: int):
         self.size = size
@@ -36,26 +43,37 @@ class Stats:
         self.msgs_sent = np.zeros(size, dtype=np.int64)
         self.compute_time = np.zeros(size, dtype=np.float64)
         self._lock = threading.Lock()
-        #: collective name -> [calls, total payload bytes]
-        self.collectives: dict[str, list[float]] = defaultdict(lambda: [0, 0.0])
+        #: collective name -> [calls, total payload bytes, participant-ranks total]
+        self.collectives: dict[str, list[float]] = defaultdict(lambda: [0, 0.0, 0])
 
     def record_send(self, world_rank: int, nbytes: int) -> None:
-        self.bytes_sent[world_rank] += nbytes
-        self.msgs_sent[world_rank] += 1
+        with self._lock:
+            self.bytes_sent[world_rank] += nbytes
+            self.msgs_sent[world_rank] += 1
+
+    def record_compute(self, world_rank: int, seconds: float) -> None:
+        with self._lock:
+            self.compute_time[world_rank] += seconds
 
     def record_collective(self, name: str, total_bytes: float, nranks: int) -> None:
         with self._lock:
             entry = self.collectives[name]
             entry[0] += 1
             entry[1] += total_bytes
+            entry[2] += nranks
 
     def summary(self) -> dict[str, Any]:
-        return {
-            "bytes_sent": int(self.bytes_sent.sum()),
-            "msgs_sent": int(self.msgs_sent.sum()),
-            "compute_time_max": float(self.compute_time.max(initial=0.0)),
-            "collectives": {k: tuple(v) for k, v in sorted(self.collectives.items())},
-        }
+        """Aggregate view; ``collectives`` maps name -> (calls, bytes, ranks)."""
+        with self._lock:
+            return {
+                "bytes_sent": int(self.bytes_sent.sum()),
+                "msgs_sent": int(self.msgs_sent.sum()),
+                "compute_time_max": float(self.compute_time.max(initial=0.0)),
+                "collectives": {
+                    k: (int(v[0]), float(v[1]), int(v[2]))
+                    for k, v in sorted(self.collectives.items())
+                },
+            }
 
 
 class Runtime:
@@ -74,6 +92,11 @@ class Runtime:
         Overrides machine/ranks_per_node when given.
     use_shm:
         Price intra-node traffic as shared-memory copies (paper default).
+    trace:
+        Attach a :class:`~repro.trace.TraceRecorder` so every communication
+        call, compute charge, and wait is recorded as a virtual-time span
+        (``runtime.trace``).  Off by default; recording never changes the
+        virtual clocks.
     """
 
     def __init__(
@@ -84,6 +107,7 @@ class Runtime:
         ranks_per_node: int | None = None,
         cost_model: CostModel | None = None,
         use_shm: bool = True,
+        trace: bool = False,
     ):
         if size < 1:
             raise ValueError("size must be >= 1")
@@ -96,18 +120,30 @@ class Runtime:
         self.cost = cost_model
         self.clocks = np.zeros(size, dtype=np.float64)
         self.stats = Stats(size)
+        self.trace: TraceRecorder | None = None
         self._states: list[_CommState] = []
         self._registry_lock = threading.Lock()
         self._aborted = False
         self.world_state = _CommState(self, range(size))
+        if trace:
+            self.trace = TraceRecorder(self)
 
     # ------------------------------------------------------------- plumbing
 
     def _register_state(self, state: _CommState) -> None:
         with self._registry_lock:
+            state.trace_id = len(self._states)
             self._states.append(state)
             if self._aborted:
                 state.abort()
+
+    def enable_tracing(self) -> TraceRecorder:
+        """Attach a recorder if none is active yet; idempotent and safe to
+        call concurrently from every rank (``SortConfig(trace=True)`` path)."""
+        with self._registry_lock:
+            if self.trace is None:
+                self.trace = TraceRecorder(self)
+            return self.trace
 
     def abort(self) -> None:
         """Tear down all pending waits (the in-process ``MPI_Abort``)."""
@@ -189,9 +225,11 @@ class Runtime:
         return float(self.clocks.max())
 
     def reset(self) -> None:
-        """Zero clocks and statistics (keeps communicators)."""
+        """Zero clocks, statistics, and any recorded trace (keeps communicators)."""
         self.clocks[:] = 0.0
         self.stats = Stats(self.size)
+        if self.trace is not None:
+            self.trace = TraceRecorder(self)
 
 
 def run_spmd(
@@ -202,11 +240,16 @@ def run_spmd(
     ranks_per_node: int | None = None,
     cost_model: CostModel | None = None,
     use_shm: bool = True,
+    trace: bool = False,
     per_rank_args: Sequence[Sequence[Any]] | None = None,
     timeout: float | None = None,
     return_runtime: bool = False,
 ) -> Any:
     """Run an SPMD function on a fresh :class:`Runtime`.
+
+    With ``trace=True`` the runtime records a virtual-time span for every
+    communication call (pair it with ``return_runtime=True`` to reach the
+    recorder at ``rt.trace``).
 
     >>> def hello(comm):
     ...     return comm.allreduce(comm.rank)
@@ -219,6 +262,7 @@ def run_spmd(
         ranks_per_node=ranks_per_node,
         cost_model=cost_model,
         use_shm=use_shm,
+        trace=trace,
     )
     results = rt.run(fn, args=args, per_rank_args=per_rank_args, timeout=timeout)
     if return_runtime:

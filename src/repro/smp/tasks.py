@@ -12,7 +12,7 @@ merge-sort baselines.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 __all__ = ["Task", "ScheduleResult", "WorkStealingSimulator"]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -13,31 +13,54 @@ __all__ = ["TrafficSnapshot"]
 
 @dataclass(frozen=True)
 class TrafficSnapshot:
-    """A point-in-time copy of a runtime's aggregate traffic counters."""
+    """A point-in-time copy of a runtime's aggregate traffic counters.
+
+    Per-collective dictionaries are keyed by operation name:
+    ``collective_bytes`` holds total payload bytes, ``collective_calls``
+    invocation counts, and ``collective_ranks`` the summed participant
+    counts (so ``ranks / calls`` is the mean communicator size).
+    """
 
     bytes_sent: int
     msgs_sent: int
     collective_bytes: dict[str, float]
+    collective_calls: dict[str, int] = field(default_factory=dict)
+    collective_ranks: dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def capture(cls, runtime: "Runtime") -> "TrafficSnapshot":
-        with runtime.stats._lock:
-            coll = {k: float(v[1]) for k, v in runtime.stats.collectives.items()}
+        stats = runtime.stats
+        with stats._lock:
+            calls = {k: int(v[0]) for k, v in stats.collectives.items()}
+            coll = {k: float(v[1]) for k, v in stats.collectives.items()}
+            ranks = {k: int(v[2]) for k, v in stats.collectives.items()}
+            bytes_sent = int(stats.bytes_sent.sum())
+            msgs_sent = int(stats.msgs_sent.sum())
         return cls(
-            bytes_sent=int(runtime.stats.bytes_sent.sum()),
-            msgs_sent=int(runtime.stats.msgs_sent.sum()),
+            bytes_sent=bytes_sent,
+            msgs_sent=msgs_sent,
             collective_bytes=coll,
+            collective_calls=calls,
+            collective_ranks=ranks,
         )
 
     def diff(self, earlier: "TrafficSnapshot") -> "TrafficSnapshot":
         """Traffic between ``earlier`` and this snapshot."""
-        keys = set(self.collective_bytes) | set(earlier.collective_bytes)
+        keys = sorted(set(self.collective_bytes) | set(earlier.collective_bytes))
         return TrafficSnapshot(
             bytes_sent=self.bytes_sent - earlier.bytes_sent,
             msgs_sent=self.msgs_sent - earlier.msgs_sent,
             collective_bytes={
                 k: self.collective_bytes.get(k, 0.0)
                 - earlier.collective_bytes.get(k, 0.0)
-                for k in sorted(keys)
+                for k in keys
+            },
+            collective_calls={
+                k: self.collective_calls.get(k, 0) - earlier.collective_calls.get(k, 0)
+                for k in keys
+            },
+            collective_ranks={
+                k: self.collective_ranks.get(k, 0) - earlier.collective_ranks.get(k, 0)
+                for k in keys
             },
         )

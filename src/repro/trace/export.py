@@ -1,0 +1,169 @@
+"""Chrome-trace-event export: open recorded runs in Perfetto.
+
+:func:`write_chrome_trace` serializes a :class:`~repro.trace.TraceRecorder`
+into the Trace Event Format (the ``traceEvents`` JSON consumed by
+https://ui.perfetto.dev and ``chrome://tracing``): one process per node,
+one track (thread) per rank, and a complete-event (``"ph": "X"``) span for
+every recorded interval, with phase spans colored per phase name.
+
+Virtual seconds map to trace microseconds.  :func:`spans_from_chrome`
+reverses the mapping, which is what lets ``python -m repro.trace.report``
+analyse a previously written trace file.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from .events import Span
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .events import TraceRecorder
+
+__all__ = [
+    "chrome_trace_events",
+    "to_chrome_json",
+    "write_chrome_trace",
+    "spans_from_chrome",
+]
+
+#: reserved Chrome trace colors, assigned to phases round-robin by name
+_PHASE_CNAMES = (
+    "thread_state_running",
+    "thread_state_iowait",
+    "rail_response",
+    "rail_animation",
+    "rail_idle",
+    "rail_load",
+    "thread_state_runnable",
+    "detailed_memory_dump",
+)
+
+_SECONDS_TO_US = 1.0e6
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce numpy scalars (and nested containers) to plain JSON types."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+def _phase_cname(name: str) -> str:
+    # crc32, not hash(): stable across processes so re-exports match.
+    return _PHASE_CNAMES[zlib.crc32(name.encode()) % len(_PHASE_CNAMES)]
+
+
+def chrome_trace_events(recorder: "TraceRecorder") -> list[dict[str, Any]]:
+    """The ``traceEvents`` list: metadata rows plus one X event per span."""
+    runtime = getattr(recorder, "runtime", None)
+    placement = getattr(runtime.cost, "placement", None) if runtime else None
+
+    events: list[dict[str, Any]] = []
+    nodes_seen: set[int] = set()
+    for rank in range(recorder.size):
+        node = placement.node_of(rank) if placement is not None else 0
+        if node not in nodes_seen:
+            nodes_seen.add(node)
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": node,
+                    "tid": 0,
+                    "args": {"name": f"node {node}"},
+                }
+            )
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": node,
+                "tid": rank,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_sort_index",
+                "pid": node,
+                "tid": rank,
+                "args": {"sort_index": rank},
+            }
+        )
+
+    for span in recorder.spans():
+        node = placement.node_of(span.rank) if placement is not None else 0
+        event: dict[str, Any] = {
+            "ph": "X",
+            "name": span.name,
+            "cat": span.cat,
+            "pid": node,
+            "tid": span.rank,
+            "ts": span.t0 * _SECONDS_TO_US,
+            "dur": span.duration * _SECONDS_TO_US,
+            "args": _json_safe(span.attrs),
+        }
+        if span.cat == "phase":
+            event["cname"] = _phase_cname(span.name)
+        events.append(event)
+    return events
+
+
+def to_chrome_json(recorder: "TraceRecorder") -> dict[str, Any]:
+    """The complete JSON-object form of the trace file."""
+    return {
+        "traceEvents": chrome_trace_events(recorder),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "ranks": recorder.size,
+            "makespan_s": recorder.makespan,
+            "source": "repro.trace (virtual time; 1 trace us = 1 modelled us)",
+        },
+    }
+
+
+def write_chrome_trace(path: str | Path, recorder: "TraceRecorder") -> Path:
+    """Write the trace next to wherever the caller keeps its results."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome_json(recorder)))
+    return path
+
+
+def spans_from_chrome(data: dict[str, Any] | list[dict[str, Any]]) -> list[Span]:
+    """Reconstruct spans from an exported trace (inverse of the exporter).
+
+    Accepts either the JSON-object form or a bare ``traceEvents`` list and
+    ignores metadata events; times come back in virtual seconds.
+    """
+    events = data["traceEvents"] if isinstance(data, dict) else data
+    spans: list[Span] = []
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        t0 = float(ev["ts"]) / _SECONDS_TO_US
+        spans.append(
+            Span(
+                rank=int(ev["tid"]),
+                name=str(ev["name"]),
+                cat=str(ev.get("cat", "user")),
+                t0=t0,
+                t1=t0 + float(ev.get("dur", 0.0)) / _SECONDS_TO_US,
+                attrs=dict(ev.get("args", {})),
+            )
+        )
+    spans.sort(key=lambda s: (s.rank, s.t0, -s.t1))
+    return spans

@@ -10,8 +10,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Mapping, Sequence
 
-import numpy as np
-
 if TYPE_CHECKING:  # pragma: no cover
     from ..mpi import Comm
 
@@ -35,10 +33,18 @@ class PhaseTimer:
         self.phases: dict[str, float] = {}
 
     def mark(self, name: str) -> float:
-        """Close the current phase under ``name``; returns its duration."""
+        """Close the current phase under ``name``; returns its duration.
+
+        When the runtime records a trace, the closed phase also becomes a
+        ``phase`` span on this rank's timeline, which is how the exporter
+        and the analysis attribute raw events to algorithm phases.
+        """
         now = self._comm.clock
         delta = now - self._last
         self.phases[name] = self.phases.get(name, 0.0) + delta
+        rec = self._comm.trace_recorder
+        if rec is not None and now > self._last:
+            rec.record(self._comm.world_rank, name, "phase", self._last, now)
         self._last = now
         return delta
 
@@ -50,18 +56,26 @@ class PhaseTimer:
 def combine_phases(
     per_rank: Sequence[Mapping[str, float]], how: str = "max"
 ) -> dict[str, float]:
-    """Combine per-rank phase dictionaries (``max`` or ``mean`` over ranks)."""
-    if not per_rank:
-        return {}
-    names: list[str] = []
+    """Combine per-rank phase dictionaries (``max``, ``mean``, or ``sum``).
+
+    Phases missing on a rank count as zero (for ``max`` and ``mean``);
+    names keep first-seen order.
+    """
+    if how not in ("max", "mean", "sum"):
+        raise ValueError(f"how must be 'max', 'mean', or 'sum', got {how!r}")
+    acc: dict[str, list[float]] = {}
     for d in per_rank:
-        for k in d:
-            if k not in names:
-                names.append(k)
+        for k, v in d.items():
+            acc.setdefault(k, []).append(float(v))
+    n = len(per_rank)
     out: dict[str, float] = {}
-    for name in names:
-        vals = np.array([d.get(name, 0.0) for d in per_rank])
-        out[name] = float(vals.max() if how == "max" else vals.mean())
+    for name, vals in acc.items():
+        if how == "sum":
+            out[name] = sum(vals)
+        elif how == "mean":
+            out[name] = sum(vals) / n
+        else:
+            out[name] = max(vals) if len(vals) == n else max(max(vals), 0.0)
     return out
 
 
