@@ -1,0 +1,51 @@
+"""SPMD correctness analysis: static lint + runtime verification.
+
+Two layers over :mod:`repro.mpi`:
+
+* **Static** — ``python -m repro.analyze src/ examples/`` runs AST-based,
+  rank-centric lint rules (divergent collectives, unwaited requests,
+  blocking cycles, tag collisions, wall-clock use in rank functions) and
+  prints ``file:line: RULE-ID message`` findings with a CI-friendly exit
+  code.  See :mod:`repro.analyze.rules` for the rule catalogue.
+* **Runtime** — ``run_spmd(..., check=True)`` (or ``REPRO_CHECK=1``)
+  attaches a :class:`~repro.analyze.runtime_check.RuntimeChecker` that
+  verifies collective congruence, detects deadlocks via a wait-for graph,
+  and reports leaked messages / never-completed requests at finalize —
+  without perturbing the virtual clocks.
+
+Attribute access is lazy so that :mod:`repro.mpi` can import the runtime
+checker without dragging the lint engine (and its import of
+:mod:`repro.mpi.tags`) into a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "Finding",
+    "analyze_paths",
+    "analyze_source",
+    "RULES",
+    "RuntimeChecker",
+    "main",
+]
+
+_EXPORTS = {
+    "Finding": ("repro.analyze.astlint", "Finding"),
+    "analyze_paths": ("repro.analyze.astlint", "analyze_paths"),
+    "analyze_source": ("repro.analyze.astlint", "analyze_source"),
+    "RULES": ("repro.analyze.rules", "RULES"),
+    "RuntimeChecker": ("repro.analyze.runtime_check", "RuntimeChecker"),
+    "main": ("repro.analyze.cli", "main"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module), attr)

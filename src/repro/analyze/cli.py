@@ -1,0 +1,55 @@
+"""``python -m repro.analyze`` — static SPMD lint CLI.
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .astlint import RULE_PARSE_ERROR, analyze_paths
+from .rules import RULES
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description="Static SPMD correctness lint for repro.mpi programs.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "examples"],
+        help="files or directories to lint (default: src examples)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.id}: {rule.summary}")
+        return 0
+
+    try:
+        findings = analyze_paths(args.paths)
+    except Exception as exc:  # internal error, not a lint finding
+        print(f"repro.analyze: internal error: {exc}", file=sys.stderr)
+        return 2
+
+    for f in findings:
+        print(f.format())
+    if any(f.rule == RULE_PARSE_ERROR for f in findings):
+        print("repro.analyze: could not parse some inputs", file=sys.stderr)
+        return 2
+    if findings:
+        n = len(findings)
+        print(f"repro.analyze: {n} finding{'s' if n != 1 else ''}", file=sys.stderr)
+        return 1
+    return 0

@@ -1,0 +1,552 @@
+"""Rank-centric lint rules for the SPMD runtime.
+
+Every rule has a stable ID (documented in DESIGN.md) and reports findings
+as ``file:line: RULE-ID message``:
+
+``SPMD-DIV-COLLECTIVE``
+    A collective (`barrier`, `allreduce`, ...) is reachable only under
+    rank-dependent control flow, so not every rank of the communicator
+    would issue it — the runtime would hang or raise a congruence error.
+``SPMD-UNWAITED-REQUEST``
+    An ``isend``/``irecv`` Request is discarded or never completed.
+``SPMD-BLOCKING-CYCLE``
+    Both branches of a rank-conditional open with the same blocking verb
+    (recv/recv deadlocks immediately; send/send deadlocks under
+    rendezvous MPI semantics).
+``SPMD-TAG-COLLISION``
+    A literal message tag collides with another module's literal tag or
+    falls inside a tag namespace owned by a different module
+    (:mod:`repro.mpi.tags`).
+``SPMD-WALLCLOCK``
+    A rank function reads wall-clock time or an unseeded random source,
+    breaking virtual-clock determinism.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from .astlint import (
+    COLLECTIVE_METHODS,
+    P2P_METHODS,
+    Finding,
+    FunctionContext,
+    ModuleInfo,
+    build_context,
+    iter_functions,
+)
+
+__all__ = ["RULES", "check_module", "check_tags"]
+
+RULE_DIV_COLLECTIVE = "SPMD-DIV-COLLECTIVE"
+RULE_UNWAITED = "SPMD-UNWAITED-REQUEST"
+RULE_BLOCKING_CYCLE = "SPMD-BLOCKING-CYCLE"
+RULE_TAG_COLLISION = "SPMD-TAG-COLLISION"
+RULE_WALLCLOCK = "SPMD-WALLCLOCK"
+
+
+@dataclass(frozen=True)
+class Rule:
+    id: str
+    summary: str
+
+
+RULES: tuple[Rule, ...] = (
+    Rule(RULE_DIV_COLLECTIVE, "collective reachable only under rank-dependent control flow"),
+    Rule(RULE_UNWAITED, "isend/irecv Request discarded or never waited"),
+    Rule(RULE_BLOCKING_CYCLE, "symmetric blocking send/send or recv/recv across a rank branch"),
+    Rule(RULE_TAG_COLLISION, "literal tag collides across modules or invades a foreign namespace"),
+    Rule(RULE_WALLCLOCK, "wall-clock / nondeterministic source inside a rank function"),
+)
+
+
+# ------------------------------------------------------ SPMD-DIV-COLLECTIVE
+
+
+def _terminates(stmts: list[ast.stmt]) -> bool:
+    """Does the branch end the surrounding iteration/function for sure?"""
+    return any(
+        isinstance(s, (ast.Return, ast.Break, ast.Continue, ast.Raise))
+        for s in stmts
+    )
+
+
+def _div_collective(mod: ModuleInfo, ctx: FunctionContext) -> list[Finding]:
+    findings: list[Finding] = []
+
+    def report(call: ast.Call, div_line: int) -> None:
+        assert isinstance(call.func, ast.Attribute)
+        name = f"{call.func.value.id}.{call.func.attr}"  # type: ignore[attr-defined]
+        findings.append(
+            Finding(
+                mod.path,
+                call.lineno,
+                RULE_DIV_COLLECTIVE,
+                f"collective '{name}()' is only reached under rank-dependent "
+                f"control flow (divergence starts at line {div_line}); every "
+                "rank of the communicator must issue it",
+            )
+        )
+
+    def visit_expr(expr: ast.expr, div: int | None) -> None:
+        if isinstance(expr, ast.IfExp):
+            visit_expr(expr.test, div)
+            branch = div
+            if branch is None and ctx.is_rank_expr(expr.test):
+                branch = expr.lineno
+            visit_expr(expr.body, branch)
+            visit_expr(expr.orelse, branch)
+            return
+        if isinstance(expr, ast.Call) and ctx.is_comm_call(expr, COLLECTIVE_METHODS):
+            if div is not None:
+                report(expr, div)
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                visit_expr(child, div)
+
+    def visit_stmt_exprs(st: ast.stmt, div: int | None) -> None:
+        for child in ast.iter_child_nodes(st):
+            if isinstance(child, ast.expr):
+                visit_expr(child, div)
+
+    def walk(stmts: list[ast.stmt], div: int | None) -> None:
+        local_div = div
+        for st in stmts:
+            if isinstance(st, ast.If):
+                visit_expr(st.test, local_div)
+                branch = local_div
+                rank_test = ctx.is_rank_expr(st.test)
+                if branch is None and rank_test:
+                    branch = st.lineno
+                walk(st.body, branch)
+                walk(st.orelse, branch)
+                # Early-exit divergence: `if rank cond: return/continue`
+                # taints every following sibling statement.
+                if local_div is None and rank_test and (
+                    _terminates(st.body) != _terminates(st.orelse)
+                ):
+                    local_div = st.lineno
+            elif isinstance(st, ast.While):
+                visit_expr(st.test, local_div)
+                branch = local_div
+                if branch is None and ctx.is_rank_expr(st.test):
+                    branch = st.lineno
+                walk(st.body, branch)
+                walk(st.orelse, local_div)
+            elif isinstance(st, ast.For):
+                visit_expr(st.iter, local_div)
+                branch = local_div
+                if branch is None and ctx.is_rank_expr(st.iter):
+                    branch = st.lineno
+                walk(st.body, branch)
+                walk(st.orelse, local_div)
+            elif isinstance(st, ast.Try):
+                walk(st.body, local_div)
+                for h in st.handlers:
+                    walk(h.body, local_div)
+                walk(st.orelse, local_div)
+                walk(st.finalbody, local_div)
+            elif isinstance(st, (ast.With, ast.AsyncWith)):
+                for item in st.items:
+                    visit_expr(item.context_expr, local_div)
+                walk(st.body, local_div)
+            elif isinstance(st, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested scopes get their own context
+            else:
+                visit_stmt_exprs(st, local_div)
+
+    walk(ctx.node.body, None)
+    return findings
+
+
+# --------------------------------------------------- SPMD-UNWAITED-REQUEST
+
+
+def _request_calls(ctx: FunctionContext) -> frozenset[str]:
+    return frozenset({"isend", "irecv"})
+
+
+def _unwaited_requests(mod: ModuleInfo, ctx: FunctionContext) -> list[Finding]:
+    findings: list[Finding] = []
+    req_methods = _request_calls(ctx)
+    assigned: dict[str, int] = {}  # name -> line of request assignment
+
+    body_nodes = [
+        n
+        for st in _iter_own(ctx.node)
+        for n in ast.walk(st)
+    ]
+
+    for st in _iter_own(ctx.node):
+        if isinstance(st, ast.Expr) and isinstance(st.value, ast.Call):
+            if ctx.is_comm_call(st.value, req_methods):
+                verb = st.value.func.attr  # type: ignore[union-attr]
+                findings.append(
+                    Finding(
+                        mod.path,
+                        st.lineno,
+                        RULE_UNWAITED,
+                        f"Request returned by '{verb}()' is discarded; call "
+                        ".wait() (or keep it and wait later) or the operation "
+                        "may never complete",
+                    )
+                )
+        elif isinstance(st, ast.Assign) and len(st.targets) == 1:
+            tgt, val = st.targets[0], st.value
+            if isinstance(tgt, ast.Name) and isinstance(val, ast.Call) and ctx.is_comm_call(
+                val, req_methods
+            ):
+                assigned[tgt.id] = st.lineno
+            elif (
+                isinstance(tgt, ast.Tuple)
+                and isinstance(val, ast.Tuple)
+                and len(tgt.elts) == len(val.elts)
+            ):
+                for t, v in zip(tgt.elts, val.elts):
+                    if isinstance(t, ast.Name) and isinstance(v, ast.Call) and ctx.is_comm_call(
+                        v, req_methods
+                    ):
+                        assigned[t.id] = st.lineno
+
+    if not assigned:
+        return findings
+
+    used: set[str] = set()
+    for n in body_nodes:
+        if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load) and n.id in assigned:
+            used.add(n.id)
+    for name, line in sorted(assigned.items(), key=lambda kv: kv[1]):
+        if name not in used:
+            findings.append(
+                Finding(
+                    mod.path,
+                    line,
+                    RULE_UNWAITED,
+                    f"Request assigned to '{name}' is never waited "
+                    "(no wait()/test() or later use in this function)",
+                )
+            )
+    return findings
+
+
+def _iter_own(fn: ast.FunctionDef):
+    """Statements of fn excluding nested function/class bodies."""
+    stack: list[ast.stmt] = list(reversed(fn.body))
+    while stack:
+        st = stack.pop()
+        if isinstance(st, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield st
+        children = [
+            c
+            for child in ast.iter_child_nodes(st)
+            for c in ([child] if isinstance(child, ast.stmt) else list(ast.iter_child_nodes(child)))
+            if isinstance(c, ast.stmt)
+        ]
+        stack.extend(reversed(children))
+
+
+# ---------------------------------------------------- SPMD-BLOCKING-CYCLE
+
+_BLOCKING_VERBS = frozenset({"send", "recv"})
+
+
+def _first_blocking_call(stmts: list[ast.stmt], ctx: FunctionContext) -> ast.Call | None:
+    for st in stmts:
+        calls = [
+            n
+            for n in ast.walk(st)
+            if isinstance(n, ast.Call) and ctx.is_comm_call(n, P2P_METHODS | COLLECTIVE_METHODS)
+        ]
+        if calls:
+            return min(calls, key=lambda c: (c.lineno, c.col_offset))
+    return None
+
+
+def _blocking_cycle(mod: ModuleInfo, ctx: FunctionContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(ctx.node):
+        if not isinstance(node, ast.If) or not node.orelse:
+            continue
+        if not ctx.is_rank_expr(node.test):
+            continue
+        a = _first_blocking_call(node.body, ctx)
+        b = _first_blocking_call(node.orelse, ctx)
+        if a is None or b is None:
+            continue
+        va = a.func.attr  # type: ignore[union-attr]
+        vb = b.func.attr  # type: ignore[union-attr]
+        if va == vb and va in _BLOCKING_VERBS:
+            why = (
+                "both sides block in recv() with no message in flight"
+                if va == "recv"
+                else "send/send cycles deadlock under rendezvous MPI semantics "
+                "(the in-process runtime buffers eagerly, real MPI may not)"
+            )
+            findings.append(
+                Finding(
+                    mod.path,
+                    node.lineno,
+                    RULE_BLOCKING_CYCLE,
+                    f"both branches of this rank-conditional start with a "
+                    f"blocking '{va}()' (lines {a.lineno} and {b.lineno}); "
+                    f"{why}; use sendrecv() or order the pair",
+                )
+            )
+    return findings
+
+
+# -------------------------------------------------------- SPMD-WALLCLOCK
+
+_TIME_FUNCS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+_NP_GLOBAL_RANDOM = frozenset(
+    {
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "seed",
+    }
+)
+
+
+def _dotted(node: ast.expr) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _wallclock_reason(call: ast.Call) -> str | None:
+    name = _dotted(call.func)
+    if name is None:
+        return None
+    parts = name.split(".")
+    head, tail = parts[0], parts[-1]
+    if head == "time" and tail in _TIME_FUNCS:
+        return f"'{name}()' reads the wall clock"
+    if head in ("datetime",) and tail in _DATETIME_FUNCS:
+        return f"'{name}()' reads the wall clock"
+    if head == "random":
+        return f"'{name}()' draws from the unseeded global random state"
+    if head in ("np", "numpy") and len(parts) >= 2 and parts[1] == "random":
+        if tail in _NP_GLOBAL_RANDOM:
+            return f"'{name}()' uses numpy's unseeded global random state"
+        if tail == "default_rng" and not call.args and not call.keywords:
+            return f"'{name}()' without a seed is nondeterministic"
+    if head == "uuid" and tail in ("uuid1", "uuid4"):
+        return f"'{name}()' is nondeterministic"
+    if head in ("os", "secrets") and tail in ("urandom", "token_bytes", "token_hex", "randbits"):
+        return f"'{name}()' reads the OS entropy pool"
+    return None
+
+
+def _wallclock(mod: ModuleInfo, ctx: FunctionContext) -> list[Finding]:
+    findings = []
+    for st in _iter_own(ctx.node):
+        for n in ast.walk(st):
+            if not isinstance(n, ast.Call):
+                continue
+            reason = _wallclock_reason(n)
+            if reason:
+                findings.append(
+                    Finding(
+                        mod.path,
+                        n.lineno,
+                        RULE_WALLCLOCK,
+                        f"{reason} inside rank function "
+                        f"'{ctx.node.name}'; virtual-clock runs must derive "
+                        "time from comm.clock and randomness from a seeded "
+                        "Generator",
+                    )
+                )
+    return findings
+
+
+# ----------------------------------------------------- SPMD-TAG-COLLISION
+
+#: positional index of the ``tag`` argument per p2p method
+_TAG_ARG_INDEX = {"send": 2, "isend": 2, "recv": 1, "irecv": 1, "iprobe": 1, "sendrecv": 3}
+
+#: tags excluded from collision checks (default / wildcard)
+_TAG_EXEMPT = frozenset({0, -1})
+
+
+def _tag_expr(call: ast.Call) -> ast.expr | None:
+    method = call.func.attr  # type: ignore[union-attr]
+    for kw in call.keywords:
+        if kw.arg == "tag":
+            return kw.value
+    idx = _TAG_ARG_INDEX.get(method)
+    if idx is not None and len(call.args) > idx:
+        return call.args[idx]
+    return None
+
+
+def _tags_imports(mod: ModuleInfo) -> dict[str, str]:
+    """Map local name -> attribute name for imports from repro.mpi.tags."""
+    out: dict[str, str] = {}
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.ImportFrom) and node.module and (
+            node.module == "tags" or node.module.endswith(".tags")
+        ):
+            for alias in node.names:
+                out[alias.asname or alias.name] = alias.name
+    return out
+
+
+def _namespace_table() -> dict[str, tuple[int, str]]:
+    from repro.mpi import tags
+
+    return dict(tags.NAMESPACES)
+
+
+def _namespace_bases() -> dict[int, tuple[str, str]]:
+    """base value -> (namespace key, owning module)."""
+    return {base: (key, owner) for key, (base, owner) in _namespace_table().items()}
+
+
+def _owner_of_literal(value: int) -> tuple[str, str] | None:
+    from repro.mpi import tags
+
+    for key, (base, owner) in _namespace_table().items():
+        if base <= value < base + tags.NAMESPACE_WIDTH:
+            return key, owner
+    return None
+
+
+def check_tags(mods: list[ModuleInfo]) -> list[Finding]:
+    """Cross-module tag audit (SPMD-TAG-COLLISION)."""
+    findings: list[Finding] = []
+    # literal value -> list of (module, line)
+    literals: dict[int, list[tuple[ModuleInfo, int]]] = {}
+
+    for mod in mods:
+        imports = _tags_imports(mod)
+        bases = _namespace_bases()
+        for node in ast.walk(mod.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _TAG_ARG_INDEX
+            ):
+                continue
+            expr = _tag_expr(node)
+            if expr is None:
+                continue
+            base_name: str | None = None
+            literal: int | None = None
+            if isinstance(expr, ast.Constant) and isinstance(expr.value, int):
+                literal = expr.value
+            elif isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Add):
+                if isinstance(expr.left, ast.Name):
+                    base_name = expr.left.id
+                elif isinstance(expr.left, ast.Constant) and isinstance(expr.left.value, int):
+                    literal = expr.left.value
+            elif isinstance(expr, ast.Name):
+                base_name = expr.id
+
+            if base_name is not None:
+                attr = imports.get(base_name)
+                if attr is None:
+                    continue  # not a tags.* constant; out of scope
+                from repro.mpi import tags as tags_mod
+
+                base_val = getattr(tags_mod, attr, None)
+                if isinstance(base_val, int) and base_val in bases:
+                    key, owner = bases[base_val]
+                    if mod.modname and owner and not _same_module(mod.modname, owner):
+                        findings.append(
+                            Finding(
+                                mod.path,
+                                node.lineno,
+                                RULE_TAG_COLLISION,
+                                f"tag namespace '{key}' (base {base_val}) is "
+                                f"owned by {owner}; allocate a namespace in "
+                                "repro.mpi.tags instead of borrowing one",
+                            )
+                        )
+                continue
+
+            if literal is None or literal in _TAG_EXEMPT:
+                continue
+            hit = _owner_of_literal(literal)
+            if hit is not None:
+                key, owner = hit
+                if not _same_module(mod.modname, owner):
+                    findings.append(
+                        Finding(
+                            mod.path,
+                            node.lineno,
+                            RULE_TAG_COLLISION,
+                            f"literal tag {literal} falls inside namespace "
+                            f"'{key}' owned by {owner}; pick a tag from "
+                            "repro.mpi.tags (USER_BASE) instead",
+                        )
+                    )
+                continue
+            literals.setdefault(literal, []).append((mod, node.lineno))
+
+    for value, sites in literals.items():
+        owners = {m.modname for m, _ in sites}
+        if len(owners) > 1:
+            for mod, line in sites:
+                others = sorted(o for o in owners if o != mod.modname)
+                findings.append(
+                    Finding(
+                        mod.path,
+                        line,
+                        RULE_TAG_COLLISION,
+                        f"literal tag {value} is also used by "
+                        f"{', '.join(others)}; colliding tags cross-match "
+                        "messages between unrelated protocols — allocate "
+                        "namespaces in repro.mpi.tags",
+                    )
+                )
+    return findings
+
+
+def _same_module(modname: str, owner: str) -> bool:
+    return modname == owner or modname.startswith(owner + ".") or owner.startswith(modname + ".")
+
+
+# ----------------------------------------------------------- entry points
+
+
+def check_module(mod: ModuleInfo) -> list[Finding]:
+    """Run all per-module rules over every rank function."""
+    findings: list[Finding] = []
+    for fn in iter_functions(mod.tree):
+        ctx = build_context(fn)
+        if not ctx.comm_names:
+            continue
+        findings.extend(_div_collective(mod, ctx))
+        findings.extend(_unwaited_requests(mod, ctx))
+        findings.extend(_blocking_cycle(mod, ctx))
+        findings.extend(_wallclock(mod, ctx))
+    return findings

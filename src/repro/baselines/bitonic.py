@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..mpi.tags import BITONIC_STAGE_BASE
 from ..seq.kmerge import merge_two_sorted
 from ..trace.timer import PhaseTimer
 from .common import BaselineResult
@@ -47,16 +48,14 @@ def bitonic_sort(comm: "Comm", local: np.ndarray) -> BaselineResult:
     d = p.bit_length() - 1
     stages = 0
     moved = 0
-    tag = 0
     tracer = comm.tracer
     for i in range(d):
         for j in range(i, -1, -1):
-            tag += 1
             stages += 1
             partner = comm.rank ^ (1 << j)
             ascending = ((comm.rank >> (i + 1)) & 1) == 0
             t_stage = comm.clock
-            other = comm.sendrecv(work, partner, tag=tag)
+            other = comm.sendrecv(work, partner, tag=BITONIC_STAGE_BASE + stages)
             moved += int(work.size)
             merged = merge_two_sorted(work, other)
             comm.compute(compute.merge_pass(merged.size))

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..mpi.tags import HYPERQUICKSORT_ROUND_BASE
 from ..seq.kmerge import merge_two_sorted
 from ..trace.timer import PhaseTimer
 from .common import BaselineResult
@@ -64,7 +65,7 @@ def hyperquicksort(comm: "Comm", local: np.ndarray) -> BaselineResult:
         partner = sub.rank + half if in_low_half else sub.rank - half
         outgoing = high if in_low_half else low
         keep = low if in_low_half else high
-        incoming = sub.sendrecv(outgoing, partner, tag=rounds)
+        incoming = sub.sendrecv(outgoing, partner, tag=HYPERQUICKSORT_ROUND_BASE + rounds)
         moved += int(outgoing.size)
         work = merge_two_sorted(keep, incoming)
         comm.compute(compute.merge_pass(work.size))

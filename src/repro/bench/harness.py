@@ -117,13 +117,16 @@ def run_sort_trial(
     config: SortConfig | None = None,
     use_shm: bool = True,
     trace_path: str | Path | None = None,
+    check: bool | None = None,
 ) -> TrialResult:
     """Execute one distributed sort and collect virtual-time statistics.
 
     ``trace_path`` enables event tracing for the run and writes a
     Chrome-trace JSON there (open it in Perfetto, or summarize it with
-    ``python -m repro.trace.report``).  Tracing does not perturb the
-    modelled times.
+    ``python -m repro.trace.report``).  ``check`` enables the runtime
+    correctness checker (collective congruence, deadlock detection, leak
+    report); ``None`` defers to the ``REPRO_CHECK`` environment variable.
+    Neither tracing nor checking perturbs the modelled times.
     """
     if algo not in _ALGOS:
         raise KeyError(f"unknown algo {algo!r}; available: {sorted(_ALGOS)}")
@@ -140,6 +143,7 @@ def run_sort_trial(
         use_shm=use_shm,
         return_runtime=True,
         trace=trace_path is not None,
+        check=check,
     )
     if trace_path is not None and rt.trace is not None:
         from ..trace.export import write_chrome_trace

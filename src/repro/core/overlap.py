@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..mpi.tags import OVERLAP_ROUND_BASE
 from ..seq.kmerge import merge_two_sorted
 from .exchange import ExchangePlan
 
@@ -97,7 +98,7 @@ def exchange_merge_overlap(
             continue  # idle round (odd p)
         t_round = comm.clock
         t0 = comm.clock
-        incoming = comm.sendrecv(chunks[partner], partner, tag=1000 + r)
+        incoming = comm.sendrecv(chunks[partner], partner, tag=OVERLAP_ROUND_BASE + r)
         comm_window = max(comm.clock - t0, 0.0)
 
         # The merge issued in the *previous* round hides behind this

@@ -16,7 +16,14 @@ Quick start::
 """
 
 from .comm import ANY_SOURCE, ANY_TAG, Comm
-from .errors import Aborted, CommunicatorError, SPMDError
+from .errors import (
+    Aborted,
+    CollectiveMismatchError,
+    CommunicatorError,
+    DeadlockError,
+    MessageLeakError,
+    SPMDError,
+)
 from .ops import LAND, LOR, MAX, MAXLOC, MIN, MINLOC, PROD, SUM, ReduceOp
 from .payload import copy_payload, payload_nbytes
 from .requests import Request, waitall
@@ -26,14 +33,17 @@ __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "Aborted",
+    "CollectiveMismatchError",
     "Comm",
     "CommunicatorError",
+    "DeadlockError",
     "LAND",
     "LOR",
     "MAX",
     "MAXLOC",
     "MIN",
     "MINLOC",
+    "MessageLeakError",
     "PROD",
     "ReduceOp",
     "Request",

@@ -103,6 +103,17 @@ class _CommState:
             with mb.cond:
                 mb.cond.notify_all()
 
+    def _checked_barrier_wait(self, idx: int, op: str) -> int:
+        """``barrier.wait()`` with blocked-rank registration for the checker."""
+        chk = self.runtime.checker
+        if chk is None:
+            return self.barrier.wait()
+        chk.block_collective(self, idx, op)
+        try:
+            return self.barrier.wait()
+        finally:
+            chk.unblock(self.world_ranks[idx])
+
     def collective(
         self,
         idx: int,
@@ -111,10 +122,17 @@ class _CommState:
         extract_fn: Callable[[list[Any], Any, int], Any],
         trace_name: str | None = None,
         trace_bytes: int = 0,
+        root: int | None = None,
     ) -> Any:
         if self.aborted:
+            chk = self.runtime.checker
+            if chk is not None:
+                chk.maybe_raise_deadlock()
             raise Aborted("communicator already aborted")
         rt = self.runtime
+        chk = rt.checker
+        if chk is not None:
+            chk.collective_op(self, idx, trace_name or "<anonymous>", root)
         rec = rt.trace
         if rec is not None:
             wrank = self.world_ranks[idx]
@@ -122,8 +140,9 @@ class _CommState:
             seq = self._seq[idx]
             self._seq[idx] = seq + 1
         self.slots[idx] = deposit
+        op = trace_name or "<anonymous>"
         try:
-            who = self.barrier.wait()
+            who = self._checked_barrier_wait(idx, op)
             if who == 0:
                 # Entry clocks are still untouched here (extract sets the
                 # new ones after barrier B), so the leader can publish the
@@ -136,14 +155,16 @@ class _CommState:
                 except BaseException:
                     self.runtime.abort()
                     raise
-            self.barrier.wait()
+            self._checked_barrier_wait(idx, op)
             try:
                 out = extract_fn(self.slots, self.cell, idx)
             except BaseException:
                 self.runtime.abort()
                 raise
-            self.barrier.wait()
+            self._checked_barrier_wait(idx, op)
         except threading.BrokenBarrierError:
+            if chk is not None:
+                chk.maybe_raise_deadlock()
             raise Aborted("runtime aborted during a collective") from None
         if rec is not None and trace_name is not None:
             t1 = float(rt.clocks[wrank])
@@ -277,6 +298,12 @@ class Comm:
                 bytes=nbytes,
                 level=self._pair_level(wdest),
             )
+        chk = self._rt.checker
+        if chk is not None:
+            # Shadow-table update must precede the mailbox append so the
+            # deadlock analyzer can only over-estimate wakeups, never miss
+            # one (see repro.analyze.runtime_check lock-ordering notes).
+            chk.note_send(self._state, dest, self._rank, tag)
         mb = self._state.mailboxes[dest]
         with mb.cond:
             mb.messages.append(msg)
@@ -294,16 +321,25 @@ class Comm:
         if source != ANY_SOURCE:
             self._check_peer(source)
         rec = self._rt.trace
+        chk = self._rt.checker
         t0 = self.clock if rec is not None else 0.0
         mb = self._state.mailboxes[self._rank]
         with mb.cond:
             while True:
                 if self._state.aborted:
+                    if chk is not None:
+                        chk.maybe_raise_deadlock()
                     raise Aborted("runtime aborted during recv")
                 msg = mb.find(source, tag, remove=True)
                 if msg is not None:
+                    if chk is not None:
+                        chk.note_consume(self._state, self._rank, msg.src, msg.tag)
                     break
+                if chk is not None:
+                    chk.block_recv(self._state, self._rank, source, tag)
                 mb.cond.wait()
+                if chk is not None:
+                    chk.unblock(self.world_rank)
         wsrc = self._state.world_ranks[msg.src]
         cost = self._rt.cost.ptp(wsrc, self.world_rank, msg.nbytes)
         self.clock = max(self.clock, msg.departure + cost)
@@ -344,7 +380,11 @@ class Comm:
         return _DoneRequest()
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
-        return _IRecvRequest(self, source, tag)
+        req = _IRecvRequest(self, source, tag)
+        chk = self._rt.checker
+        if chk is not None:
+            req._record = chk.note_irecv(self.world_rank, source, tag)
+        return req
 
     def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
         """Non-blocking check whether a matching message is pending."""
@@ -366,8 +406,14 @@ class Comm:
         *,
         result_for_all: bool = True,
         root: int | None = None,
+        check_root: int | None = None,
     ) -> Any:
-        """Collective with a uniform (or per-rank) cost and one combined value."""
+        """Collective with a uniform (or per-rank) cost and one combined value.
+
+        ``root`` gates the result to one rank; ``check_root`` feeds the
+        congruence checker for rooted collectives whose result still goes
+        to everyone (bcast).
+        """
         state = self._state
         wr = state.world_ranks
         rt = self._rt
@@ -395,6 +441,7 @@ class Comm:
             extract,
             trace_name=name,
             trace_bytes=payload_nbytes(deposit),
+            root=root if root is not None else check_root,
         )
 
     def barrier(self) -> None:
@@ -413,6 +460,7 @@ class Comm:
             deposit,
             lambda s: s[root],
             lambda s: self._rt.cost.bcast(payload_nbytes(s[root]), ranks),
+            check_root=root,
         )
 
     def reduce(self, value: Any, op: ReduceOp = SUM, root: int = 0) -> Any:
@@ -487,6 +535,7 @@ class Comm:
             extract,
             trace_name="scatter",
             trace_bytes=payload_nbytes(values) if self._rank == root else 0,
+            root=root,
         )
 
     def alltoall(self, values: Sequence[Any]) -> list[Any]:

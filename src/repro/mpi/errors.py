@@ -31,3 +31,26 @@ class Aborted(RuntimeError):
 
 class CommunicatorError(RuntimeError):
     """Misuse of a communicator (bad rank, mismatched collective, ...)."""
+
+
+class CollectiveMismatchError(CommunicatorError):
+    """Two ranks issued incongruent collectives on the same communicator.
+
+    Raised by the ``check=True`` runtime verifier when the Nth collective
+    of one rank disagrees with the Nth collective of another on operation
+    name or root; the message carries both ranks' call sites.
+    """
+
+
+class DeadlockError(CommunicatorError):
+    """The ``check=True`` wait-for-graph detector found a deadlock.
+
+    Every non-finished rank is blocked (recv / collective) and no pending
+    message or collective completion can wake any of them; the message
+    contains the per-rank waits and, when one exists, the wait-for cycle.
+    """
+
+
+class MessageLeakError(CommunicatorError):
+    """A ``check=True`` run finished with undelivered messages or pending
+    requests; the message lists every orphaned (source, dest, tag)."""

@@ -1,10 +1,18 @@
-"""Non-blocking request objects (MPI_Request analogues)."""
+"""Non-blocking request objects (MPI_Request analogues).
+
+``wait()`` is idempotent: once a request completes it caches its payload
+and every later ``wait()``/``test()`` returns the same value without
+touching the mailbox again; if the first ``wait()`` was torn down by an
+abort, later waits re-raise the same exception instead of hanging on a
+dead communicator.
+"""
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..analyze.runtime_check import RequestRecord
     from .comm import Comm
 
 
@@ -39,18 +47,32 @@ class _IRecvRequest(Request):
         self._tag = tag
         self._done = False
         self._payload: Any = None
+        self._exc: BaseException | None = None
+        #: finalize-accounting entry, set by Comm.irecv under check=True
+        self._record: "RequestRecord | None" = None
 
     def wait(self) -> Any:
-        if not self._done:
+        if self._done:
+            return self._payload
+        if self._exc is not None:
+            raise self._exc
+        try:
             # Traced under the "wait" span name so blocked time on request
             # completion is distinguishable from a plain blocking recv.
             self._payload = self._comm.recv(self._source, self._tag, _span_name="wait")
-            self._done = True
+        except BaseException as exc:
+            self._exc = exc
+            raise
+        self._done = True
+        if self._record is not None:
+            self._record.done = True
         return self._payload
 
     def test(self) -> tuple[bool, Any]:
         if self._done:
             return True, self._payload
+        if self._exc is not None:
+            raise self._exc
         if self._comm.iprobe(self._source, self._tag):
             return True, self.wait()
         return False, None

@@ -16,7 +16,9 @@ the benchmarks report.
 from __future__ import annotations
 
 import math
+import os
 import threading
+import warnings
 from collections import defaultdict
 from typing import Any, Callable, Sequence
 
@@ -25,7 +27,12 @@ import numpy as np
 from ..machine import CostModel, MachineSpec, abstract_cluster, make_placement
 from ..trace.events import TraceRecorder
 from .comm import Comm, _CommState
-from .errors import Aborted, SPMDError
+from .errors import Aborted, MessageLeakError, SPMDError
+
+
+def _check_default() -> bool:
+    """Resolve ``check=None`` from the ``REPRO_CHECK`` environment variable."""
+    return os.environ.get("REPRO_CHECK", "").strip().lower() not in ("", "0", "false")
 
 
 class Stats:
@@ -97,6 +104,13 @@ class Runtime:
         call, compute charge, and wait is recorded as a virtual-time span
         (``runtime.trace``).  Off by default; recording never changes the
         virtual clocks.
+    check:
+        Attach a :class:`~repro.analyze.runtime_check.RuntimeChecker` that
+        verifies collective congruence, detects deadlocks via a wait-for
+        graph, and reports leaked messages / pending requests at finalize.
+        ``None`` (the default) reads the ``REPRO_CHECK`` environment
+        variable.  Checking never changes the virtual clocks: a checked
+        run is bit-identical to an unchecked one.
     """
 
     def __init__(
@@ -108,6 +122,7 @@ class Runtime:
         cost_model: CostModel | None = None,
         use_shm: bool = True,
         trace: bool = False,
+        check: bool | None = None,
     ):
         if size < 1:
             raise ValueError("size must be >= 1")
@@ -121,6 +136,13 @@ class Runtime:
         self.clocks = np.zeros(size, dtype=np.float64)
         self.stats = Stats(size)
         self.trace: TraceRecorder | None = None
+        self.checker = None
+        if check is None:
+            check = _check_default()
+        if check:
+            from ..analyze.runtime_check import RuntimeChecker
+
+            self.checker = RuntimeChecker(self)
         self._states: list[_CommState] = []
         self._registry_lock = threading.Lock()
         self._aborted = False
@@ -181,6 +203,9 @@ class Runtime:
         results: list[Any] = [None] * self.size
         failures: dict[int, BaseException] = {}
         failures_lock = threading.Lock()
+        checker = self.checker
+        if checker is not None:
+            checker.begin_run()
 
         def worker(rank: int) -> None:
             comm = self.comm(rank)
@@ -193,6 +218,11 @@ class Runtime:
                 with failures_lock:
                     failures[rank] = exc
                 self.abort()
+            finally:
+                if checker is not None:
+                    # A finished rank will never send again: this transition
+                    # can complete a deadlock, so the checker re-analyzes.
+                    checker.finish(rank)
 
         old_stack = threading.stack_size()
         if self.size > 64:
@@ -216,7 +246,53 @@ class Runtime:
         if failures:
             first = failures[min(failures)]
             raise SPMDError(failures) from first
+        self._finalize_check()
         return results
+
+    def _finalize_check(self) -> None:
+        """Post-run accounting: orphaned messages always warn; under
+        ``check=True`` they (and never-completed requests) raise."""
+        leaks = self.leaked_messages()
+        if leaks:
+            listing = ", ".join(
+                f"(src={s}, dest={d}, tag={t})" for s, d, t in leaks[:8]
+            )
+            if len(leaks) > 8:
+                listing += f", ... {len(leaks) - 8} more"
+            warnings.warn(
+                f"SPMD run finished with {len(leaks)} undelivered message(s): "
+                f"{listing}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        pending = self.checker.pending_requests() if self.checker is not None else []
+        if self.checker is not None and (leaks or pending):
+            lines = [
+                f"SPMD run leaked {len(leaks)} message(s) and "
+                f"{len(pending)} pending request(s)"
+            ]
+            lines += [f"  undelivered: src={s} dest={d} tag={t}" for s, d, t in leaks]
+            lines += [
+                f"  never-completed irecv on rank {r.world_rank} "
+                f"(source={r.source}, tag={r.tag}) from {r.site}"
+                for r in pending
+            ]
+            raise MessageLeakError("\n".join(lines))
+
+    def leaked_messages(self) -> list[tuple[int, int, int]]:
+        """Undelivered ``(src_world, dest_world, tag)`` across all mailboxes."""
+        with self._registry_lock:
+            states = list(self._states)
+        leaks: list[tuple[int, int, int]] = []
+        for state in states:
+            for dest_idx, mb in enumerate(state.mailboxes):
+                with mb.cond:
+                    msgs = list(mb.messages)
+                for m in msgs:
+                    leaks.append(
+                        (state.world_ranks[m.src], state.world_ranks[dest_idx], m.tag)
+                    )
+        return leaks
 
     # ------------------------------------------------------------- reporting
 
@@ -241,6 +317,7 @@ def run_spmd(
     cost_model: CostModel | None = None,
     use_shm: bool = True,
     trace: bool = False,
+    check: bool | None = None,
     per_rank_args: Sequence[Sequence[Any]] | None = None,
     timeout: float | None = None,
     return_runtime: bool = False,
@@ -249,7 +326,10 @@ def run_spmd(
 
     With ``trace=True`` the runtime records a virtual-time span for every
     communication call (pair it with ``return_runtime=True`` to reach the
-    recorder at ``rt.trace``).
+    recorder at ``rt.trace``).  With ``check=True`` (default: the
+    ``REPRO_CHECK`` environment variable) the runtime verifies collective
+    congruence, detects deadlocks, and reports message leaks — without
+    changing the virtual clocks.
 
     >>> def hello(comm):
     ...     return comm.allreduce(comm.rank)
@@ -263,6 +343,7 @@ def run_spmd(
         cost_model=cost_model,
         use_shm=use_shm,
         trace=trace,
+        check=check,
     )
     results = rt.run(fn, args=args, per_rank_args=per_rank_args, timeout=timeout)
     if return_runtime:

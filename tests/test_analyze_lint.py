@@ -1,0 +1,405 @@
+"""Static SPMD lint: one fixture per rule, suppression, CLI, repo hygiene."""
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import analyze_paths, analyze_source
+from repro.analyze.astlint import analyze_modules, module_from_source
+
+
+def findings_for(src, rule=None, modname="fixture"):
+    out = analyze_source(textwrap.dedent(src), path="fixture.py", modname=modname)
+    if rule is None:
+        return out
+    return [f for f in out if f.rule == rule]
+
+
+class TestDivergentCollective:
+    RULE = "SPMD-DIV-COLLECTIVE"
+
+    def test_collective_under_rank_branch(self):
+        hits = findings_for(
+            """
+            def f(comm, x):
+                if comm.rank == 0:
+                    comm.barrier()
+            """,
+            self.RULE,
+        )
+        assert len(hits) == 1
+        assert "comm.barrier()" in hits[0].message
+        assert hits[0].format().startswith("fixture.py:4: SPMD-DIV-COLLECTIVE")
+
+    def test_early_exit_divergence(self):
+        # The collective is *after* the if, but only non-zero ranks return
+        # early — rank 0 alone reaches the allreduce.
+        hits = findings_for(
+            """
+            def f(comm, x):
+                if comm.rank > 0:
+                    return None
+                comm.allreduce(x)
+            """,
+            self.RULE,
+        )
+        assert len(hits) == 1
+
+    def test_taint_through_assignment(self):
+        hits = findings_for(
+            """
+            def f(comm, x):
+                me = comm.rank
+                odd = me % 2
+                for i in range(odd):
+                    comm.bcast(x, root=0)
+            """,
+            self.RULE,
+        )
+        assert len(hits) == 1
+
+    def test_uniform_condition_is_clean(self):
+        assert not findings_for(
+            """
+            def f(comm, x):
+                if x > 3:
+                    comm.barrier()
+                return comm.allreduce(x)
+            """,
+            self.RULE,
+        )
+
+    def test_split_loop_is_clean(self):
+        # The canonical recursive-subcommunicator pattern (hyksort,
+        # hyperquicksort): the handle is rank-dependent but collectives on
+        # it are congruent within each subcommunicator.
+        assert not findings_for(
+            """
+            def f(comm, x):
+                sub = comm
+                while sub.size > 1:
+                    sub = sub.split(sub.rank % 2, sub.rank)
+                    x = sub.allreduce(x)
+                return x
+            """,
+            self.RULE,
+        )
+
+    def test_non_comm_function_ignored(self):
+        assert not findings_for(
+            """
+            def helper(rank, x):
+                if rank == 0:
+                    return x
+                return None
+            """,
+            self.RULE,
+        )
+
+
+class TestUnwaitedRequest:
+    RULE = "SPMD-UNWAITED-REQUEST"
+
+    def test_discarded_request(self):
+        hits = findings_for(
+            """
+            def f(comm, x):
+                comm.isend(x, 0, tag=5)
+            """,
+            self.RULE,
+        )
+        assert len(hits) == 1
+        assert "discarded" in hits[0].message
+
+    def test_never_used_request(self):
+        hits = findings_for(
+            """
+            def f(comm, x):
+                req = comm.irecv(source=0, tag=5)
+                return x
+            """,
+            self.RULE,
+        )
+        assert len(hits) == 1
+        assert "'req'" in hits[0].message
+
+    def test_waited_request_is_clean(self):
+        assert not findings_for(
+            """
+            def f(comm, x):
+                req = comm.irecv(source=0, tag=5)
+                comm.send(x, 0, 5)
+                return req.wait()
+            """,
+            self.RULE,
+        )
+
+    def test_request_kept_in_list_is_clean(self):
+        assert not findings_for(
+            """
+            def f(comm, x):
+                reqs = []
+                r = comm.isend(x, 0, tag=5)
+                reqs.append(r)
+                for r in reqs:
+                    r.wait()
+            """,
+            self.RULE,
+        )
+
+
+class TestBlockingCycle:
+    RULE = "SPMD-BLOCKING-CYCLE"
+
+    def test_recv_recv(self):
+        hits = findings_for(
+            """
+            def f(comm, x):
+                if comm.rank == 0:
+                    y = comm.recv(1)
+                    comm.send(x, 1)
+                else:
+                    y = comm.recv(0)
+                    comm.send(x, 0)
+                return y
+            """,
+            self.RULE,
+        )
+        assert len(hits) == 1
+        assert "'recv()'" in hits[0].message
+
+    def test_send_send(self):
+        hits = findings_for(
+            """
+            def f(comm, x):
+                if comm.rank % 2 == 0:
+                    comm.send(x, comm.rank + 1)
+                    y = comm.recv(comm.rank + 1)
+                else:
+                    comm.send(x, comm.rank - 1)
+                    y = comm.recv(comm.rank - 1)
+                return y
+            """,
+            self.RULE,
+        )
+        assert len(hits) == 1
+        assert "rendezvous" in hits[0].message
+
+    def test_ordered_pair_is_clean(self):
+        assert not findings_for(
+            """
+            def f(comm, x):
+                if comm.rank == 0:
+                    comm.send(x, 1)
+                    y = comm.recv(1)
+                else:
+                    y = comm.recv(0)
+                    comm.send(x, 0)
+                return y
+            """,
+            self.RULE,
+        )
+
+
+class TestTagCollision:
+    RULE = "SPMD-TAG-COLLISION"
+
+    def test_literal_inside_foreign_namespace(self):
+        hits = findings_for(
+            """
+            def f(comm, x):
+                comm.send(x, 0, tag=1000005)
+            """,
+            self.RULE,
+            modname="repro.other.module",
+        )
+        assert len(hits) == 1
+        assert "overlap_round" in hits[0].message
+
+    def test_borrowed_namespace_constant(self):
+        hits = findings_for(
+            """
+            from repro.mpi.tags import OVERLAP_ROUND_BASE
+
+            def f(comm, x):
+                comm.send(x, 0, tag=OVERLAP_ROUND_BASE + 3)
+            """,
+            self.RULE,
+            modname="repro.other.module",
+        )
+        assert len(hits) == 1
+        assert "repro.core.overlap" in hits[0].message
+
+    def test_owner_may_use_its_namespace(self):
+        assert not findings_for(
+            """
+            from ..mpi.tags import OVERLAP_ROUND_BASE
+
+            def f(comm, x):
+                comm.send(x, 0, tag=OVERLAP_ROUND_BASE + 3)
+            """,
+            self.RULE,
+            modname="repro.core.overlap",
+        )
+
+    def test_duplicate_literal_across_modules(self):
+        a = module_from_source(
+            "def f(comm, x):\n    comm.send(x, 0, tag=42)\n", "a.py", "repro.a"
+        )
+        b = module_from_source(
+            "def g(comm):\n    return comm.recv(0, tag=42)\n", "b.py", "repro.b"
+        )
+        hits = [f for f in analyze_modules([a, b]) if f.rule == self.RULE]
+        assert len(hits) == 2
+        assert {f.path for f in hits} == {"a.py", "b.py"}
+
+    def test_same_literal_within_one_module_is_clean(self):
+        assert not findings_for(
+            """
+            def f(comm, x):
+                comm.send(x, 0, tag=42)
+                return comm.recv(0, tag=42)
+            """,
+            self.RULE,
+        )
+
+
+class TestWallclock:
+    RULE = "SPMD-WALLCLOCK"
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            "time.time()",
+            "time.perf_counter()",
+            "random.random()",
+            "np.random.rand(4)",
+            "np.random.default_rng()",
+        ],
+    )
+    def test_nondeterministic_sources(self, call):
+        hits = findings_for(
+            f"""
+            import time, random
+            import numpy as np
+
+            def f(comm, x):
+                y = {call}
+                return y
+            """,
+            self.RULE,
+        )
+        assert len(hits) == 1
+
+    def test_seeded_rng_is_clean(self):
+        assert not findings_for(
+            """
+            import numpy as np
+
+            def f(comm, x, seed):
+                rng = np.random.default_rng(seed)
+                g = np.random.Generator(np.random.MT19937([seed, comm.rank]))
+                return rng.random() + g.random()
+            """,
+            self.RULE,
+        )
+
+    def test_outside_rank_function_ignored(self):
+        assert not findings_for(
+            """
+            import time
+
+            def bench(fn):
+                t0 = time.perf_counter()
+                fn()
+                return time.perf_counter() - t0
+            """,
+            self.RULE,
+        )
+
+
+class TestSuppression:
+    def test_inline_ignore_specific_rule(self):
+        assert not findings_for(
+            """
+            def f(comm, x):
+                if comm.rank == 0:
+                    comm.barrier()  # spmd: ignore[SPMD-DIV-COLLECTIVE]
+            """
+        )
+
+    def test_ignore_wrong_rule_does_not_suppress(self):
+        hits = findings_for(
+            """
+            def f(comm, x):
+                if comm.rank == 0:
+                    comm.barrier()  # spmd: ignore[SPMD-WALLCLOCK]
+            """
+        )
+        assert len(hits) == 1
+
+    def test_bare_ignore_suppresses_all(self):
+        assert not findings_for(
+            """
+            def f(comm, x):
+                if comm.rank == 0:
+                    comm.barrier()  # spmd: ignore
+            """
+        )
+
+
+class TestCli:
+    def _run(self, *args, cwd):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analyze", *args],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            env=env,
+        )
+
+    def test_exit_zero_on_clean_tree(self, tmp_path):
+        (tmp_path / "ok.py").write_text("def f(comm, x):\n    return comm.allreduce(x)\n")
+        proc = self._run(str(tmp_path), cwd=Path(__file__).resolve().parents[1])
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert proc.stdout == ""
+
+    def test_exit_one_with_findings(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(comm, x):\n    if comm.rank == 0:\n        comm.barrier()\n")
+        proc = self._run(str(bad), cwd=Path(__file__).resolve().parents[1])
+        assert proc.returncode == 1
+        assert "SPMD-DIV-COLLECTIVE" in proc.stdout
+        assert f"{bad}:3:" in proc.stdout
+
+    def test_exit_two_on_syntax_error(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        proc = self._run(str(tmp_path), cwd=Path(__file__).resolve().parents[1])
+        assert proc.returncode == 2
+        assert "SPMD-PARSE-ERROR" in proc.stdout
+
+    def test_list_rules(self):
+        proc = self._run("--list-rules", cwd=Path(__file__).resolve().parents[1])
+        assert proc.returncode == 0
+        for rule in (
+            "SPMD-DIV-COLLECTIVE",
+            "SPMD-UNWAITED-REQUEST",
+            "SPMD-BLOCKING-CYCLE",
+            "SPMD-TAG-COLLISION",
+            "SPMD-WALLCLOCK",
+        ):
+            assert rule in proc.stdout
+
+
+class TestRepoIsClean:
+    def test_src_and_examples_lint_clean(self):
+        root = Path(__file__).resolve().parents[1]
+        findings = analyze_paths([root / "src", root / "examples"])
+        assert findings == [], "\n".join(f.format() for f in findings)

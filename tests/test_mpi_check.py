@@ -1,0 +1,223 @@
+"""Runtime verification layer (``check=True``): congruence, deadlock,
+finalize accounting, request idempotency, and clock invariance."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_partition
+from repro.mpi import (
+    Aborted,
+    CollectiveMismatchError,
+    DeadlockError,
+    MessageLeakError,
+    SPMDError,
+    run_spmd,
+)
+
+
+def _failure_types(excinfo):
+    return {type(e) for e in excinfo.value.failures.values()}
+
+
+class TestCollectiveCongruence:
+    def test_mismatched_op_names(self):
+        def prog(comm):
+            if comm.rank == 0:
+                return comm.bcast(1, root=0)
+            return comm.allreduce(1)
+
+        with pytest.raises(SPMDError) as ei:
+            run_spmd(2, prog, check=True, timeout=30)
+        assert CollectiveMismatchError in _failure_types(ei)
+        msg = str(ei.value.__cause__)
+        # Both ranks' call sites are named in the diagnosis.
+        assert "bcast" in msg and "allreduce" in msg
+        assert msg.count("test_mpi_check.py") == 2
+
+    def test_mismatched_bcast_root(self):
+        def prog(comm):
+            return comm.bcast(comm.rank, root=0 if comm.rank == 0 else 1)
+
+        with pytest.raises(SPMDError) as ei:
+            run_spmd(2, prog, check=True, timeout=30)
+        assert CollectiveMismatchError in _failure_types(ei)
+        assert "root=0" in str(ei.value.__cause__)
+        assert "root=1" in str(ei.value.__cause__)
+
+    def test_congruent_run_is_clean(self):
+        def prog(comm):
+            x = comm.allreduce(comm.rank)
+            comm.barrier()
+            return comm.bcast(x, root=0)
+
+        assert run_spmd(4, prog, check=True, timeout=30) == [6, 6, 6, 6]
+
+
+class TestDeadlockDetection:
+    def test_recv_recv_cycle(self):
+        def prog(comm):
+            peer = 1 - comm.rank
+            got = comm.recv(source=peer, tag=7)
+            comm.send(comm.rank, peer, tag=7)
+            return got
+
+        with pytest.raises(SPMDError) as ei:
+            run_spmd(2, prog, check=True, timeout=30)
+        assert DeadlockError in _failure_types(ei)
+        msg = str(ei.value.__cause__)
+        assert "wait-for cycle" in msg
+        assert "rank 0" in msg and "rank 1" in msg
+
+    def test_mismatched_barrier(self):
+        # Rank 1 never reaches the barrier: rank 0 waits forever.
+        def prog(comm):
+            if comm.rank == 0:
+                comm.barrier()  # spmd: ignore[SPMD-DIV-COLLECTIVE]
+            return comm.rank
+
+        with pytest.raises(SPMDError) as ei:
+            run_spmd(2, prog, check=True, timeout=30)
+        assert DeadlockError in _failure_types(ei)
+        msg = str(ei.value.__cause__)
+        assert "blocked in collective 'barrier'" in msg
+        assert "finished rank(s): [1]" in msg
+
+    def test_recv_with_no_sender(self):
+        def prog(comm):
+            if comm.rank == 0:
+                return comm.recv(source=1, tag=3)
+            return None
+
+        with pytest.raises(SPMDError) as ei:
+            run_spmd(2, prog, check=True, timeout=30)
+        assert DeadlockError in _failure_types(ei)
+        assert "blocked in recv(source=1, tag=3)" in str(ei.value.__cause__)
+
+    def test_unchecked_still_works(self):
+        # Same clean program without the checker: no interference.
+        def prog(comm):
+            peer = 1 - comm.rank
+            return comm.sendrecv(comm.rank, peer, tag=1)
+
+        assert run_spmd(2, prog, check=False, timeout=30) == [1, 0]
+
+
+class TestFinalizeAccounting:
+    def test_leak_warns_unchecked(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(b"orphan", 1, tag=9)
+            return None
+
+        with pytest.warns(RuntimeWarning, match=r"src=0, dest=1, tag=9"):
+            run_spmd(2, prog, check=False, timeout=30)
+
+    def test_leak_raises_checked(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(b"orphan", 1, tag=9)
+            return None
+
+        with pytest.raises(MessageLeakError, match=r"src=0 dest=1 tag=9"):
+            with pytest.warns(RuntimeWarning):
+                run_spmd(2, prog, check=True, timeout=30)
+
+    def test_pending_irecv_raises_checked(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.irecv(source=1, tag=4)
+                del req  # never waited  # spmd: ignore[SPMD-UNWAITED-REQUEST]
+            return None
+
+        with pytest.raises(MessageLeakError, match=r"never-completed irecv"):
+            run_spmd(2, prog, check=True, timeout=30)
+
+    def test_clean_run_no_warning(self, recwarn):
+        def prog(comm):
+            peer = 1 - comm.rank
+            comm.send(comm.rank, peer, tag=2)
+            return comm.recv(source=peer, tag=2)
+
+        assert run_spmd(2, prog, check=True, timeout=30) == [1, 0]
+        assert not [w for w in recwarn if issubclass(w.category, RuntimeWarning)]
+
+
+class TestRequestIdempotency:
+    def test_wait_twice_returns_same_payload(self, run):
+        def prog(comm):
+            peer = 1 - comm.rank
+            req = comm.irecv(source=peer, tag=5)
+            comm.send({"from": comm.rank}, peer, tag=5)
+            first = req.wait()
+            second = req.wait()  # idempotent: must not re-receive
+            assert second is first
+            done, payload = req.test()
+            assert done and payload is first
+            return first["from"]
+
+        assert run(2, prog, check=True, timeout=30) == [1, 0]
+
+    def test_wait_after_abort_is_stable(self):
+        # Rank 1 dies; rank 0's wait() aborts — and keeps raising the same
+        # error on every retry instead of hanging or returning garbage.
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.irecv(source=1, tag=6)
+                with pytest.raises(Aborted):
+                    req.wait()
+                with pytest.raises(Aborted):
+                    req.wait()
+                with pytest.raises(Aborted):
+                    req.test()
+                return "survived"
+            raise ValueError("boom")
+
+        with pytest.raises(SPMDError) as ei:
+            run_spmd(2, prog, check=False, timeout=30)
+        assert set(ei.value.failures) == {1}
+
+
+class TestFailurePropagation:
+    def test_abort_mid_collective_propagates(self):
+        # Rank 0 raises while the others sit in a barrier; they must be
+        # released as secondary casualties, not report their own failures.
+        def prog(comm):
+            if comm.rank == 0:
+                raise ValueError("primary failure")
+            comm.barrier()  # spmd: ignore[SPMD-DIV-COLLECTIVE]
+            return None
+
+        with pytest.raises(SPMDError) as ei:
+            run_spmd(4, prog, check=True, timeout=30)
+        assert set(ei.value.failures) == {0}
+        assert isinstance(ei.value.failures[0], ValueError)
+
+    def test_spmd_error_carries_every_failing_rank(self):
+        # No communication before the raise: no rank can be demoted to a
+        # secondary Aborted casualty, so every failure must be reported.
+        def prog(comm):
+            raise ValueError(f"rank {comm.rank} failed")
+
+        with pytest.raises(SPMDError) as ei:
+            run_spmd(3, prog, check=True, timeout=30)
+        assert set(ei.value.failures) == {0, 1, 2}
+        for r, exc in ei.value.failures.items():
+            assert str(exc) == f"rank {r} failed"
+
+
+class TestClockInvariance:
+    def test_checked_run_is_bit_identical(self):
+        """Acceptance: 16-rank histogram sort, check on vs off, same clocks."""
+        from repro.core import histogram_sort
+
+        def prog(comm):
+            local = make_partition("uniform_u64", 2000, rank=comm.rank, seed=11)
+            res = histogram_sort(comm, local)
+            return float(res.output[0]) if res.output.size else None
+
+        clocks = {}
+        for check in (False, True):
+            _, rt = run_spmd(16, prog, check=check, return_runtime=True, timeout=60)
+            clocks[check] = rt.clocks.copy()
+        assert np.array_equal(clocks[False], clocks[True])
+        assert clocks[True].dtype == np.float64
