@@ -136,6 +136,22 @@ class RuntimeChecker:
             self._waits = [None] * self.size
             self._deadlock = None
 
+    def reset(self) -> None:
+        """Discard all shadow state (paired with :meth:`Runtime.reset`).
+
+        Without this, inflight counters and collective sequence numbers
+        from a previous run would poison congruence checking of the next
+        one on the same runtime."""
+        with self._lock:
+            self._rank_state = [_RUNNING] * self.size
+            self._waits = [None] * self.size
+            self._inflight.clear()
+            self._coll_seq.clear()
+            self._coll_arrivals.clear()
+            self._coll_ops.clear()
+            self._deadlock = None
+            self.requests = []
+
     def finish(self, world_rank: int) -> None:
         """A rank's function returned (or raised); it will act no more."""
         with self._lock:
@@ -250,6 +266,16 @@ class RuntimeChecker:
     def _analyze(self) -> str | None:
         """Deadlock test; caller holds the lock.  Returns the diagnosis."""
         if self.runtime._aborted or self._deadlock is not None:
+            return None
+        if self.runtime._faults is not None:
+            # Under a fault plan, stuck configurations are injected, not
+            # programming errors; the never-hang guarantee is the wait
+            # registry's quiescence arbiter, which knows about retry
+            # deadlines and crashed ranks.  Stay out of its way.
+            return None
+        if self.runtime._registry.has_pending_deadline():
+            # A virtual-time timeout will resolve this wait; the verdict
+            # belongs to the timeout arbiter.
             return None
         if any(s == _RUNNING for s in self._rank_state):
             return None

@@ -70,11 +70,18 @@ _ALGOS: dict[str, Callable] = {}
 
 def _dash(comm, local, config):
     res = histogram_sort(comm, local, config=config)
-    return {
-        "phases": res.phases,
-        "rounds": res.rounds,
-        "exchanged": res.exchanged_bytes,
+    # A resilient config returns a ResilientSortResult wrapping the
+    # successful epoch's SortResult.
+    inner = getattr(res, "result", res)
+    out = {
+        "phases": inner.phases,
+        "rounds": inner.rounds,
+        "exchanged": inner.exchanged_bytes,
     }
+    if inner is not res:
+        out["attempts"] = res.attempts
+        out["survivors"] = res.survivors
+    return out
 
 
 def _hss(comm, local, config):
@@ -118,6 +125,7 @@ def run_sort_trial(
     use_shm: bool = True,
     trace_path: str | Path | None = None,
     check: bool | None = None,
+    faults=None,
 ) -> TrialResult:
     """Execute one distributed sort and collect virtual-time statistics.
 
@@ -127,6 +135,11 @@ def run_sort_trial(
     correctness checker (collective congruence, deadlock detection, leak
     report); ``None`` defers to the ``REPRO_CHECK`` environment variable.
     Neither tracing nor checking perturbs the modelled times.
+
+    ``faults`` injects a :class:`~repro.faults.FaultPlan` (pair it with a
+    resilient ``config`` so the sort can heal); ranks the plan crashes
+    contribute no statistics, and the injected-event tally lands in
+    ``extra["faults"]``.
     """
     if algo not in _ALGOS:
         raise KeyError(f"unknown algo {algo!r}; available: {sorted(_ALGOS)}")
@@ -144,18 +157,23 @@ def run_sort_trial(
         return_runtime=True,
         trace=trace_path is not None,
         check=check,
+        faults=faults,
     )
     if trace_path is not None and rt.trace is not None:
         from ..trace.export import write_chrome_trace
 
         write_chrome_trace(trace_path, rt.trace)
+    results = [r for r in results if r is not None]  # crashed ranks
     phases = combine_phases([r["phases"] for r in results], how="max")
+    extra: dict[str, Any] = {"bytes_sent": int(rt.stats.bytes_sent.sum())}
+    if faults is not None:
+        extra["faults"] = rt.fault_stats.summary()
     return TrialResult(
         total=rt.elapsed(),
         phases=phases,
         rounds=int(max(r["rounds"] for r in results)),
         exchanged_bytes=int(sum(r["exchanged"] for r in results)),
-        extra={"bytes_sent": int(rt.stats.bytes_sent.sum())},
+        extra=extra,
     )
 
 

@@ -85,6 +85,14 @@ class SortConfig:
     #: (the §VI-E.1 optimisation); replaces the merge phase entirely.
     overlap_exchange: bool = False
     trace: bool = False
+    #: run the fault-tolerant driver (:mod:`repro.core.resilient`):
+    #: collectives ride the reliable p2p layer, and on a rank failure the
+    #: survivors agree, shrink, and re-run splitter determination —
+    #: :func:`~repro.core.histsort.histogram_sort` then returns a
+    #: :class:`~repro.core.resilient.ResilientSortResult`.
+    resilient: bool = False
+    #: bound on shrink-and-retry epochs before the resilient driver gives up
+    max_recovery_attempts: int = 8
 
     def __post_init__(self) -> None:
         if self.eps < 0:
@@ -92,6 +100,13 @@ class SortConfig:
         if self.merge_strategy not in _MERGE_STRATEGIES:
             raise ValueError(
                 f"merge_strategy must be one of {_MERGE_STRATEGIES}, got {self.merge_strategy!r}"
+            )
+        if self.max_recovery_attempts < 1:
+            raise ValueError("max_recovery_attempts must be >= 1")
+        if self.resilient and self.overlap_exchange:
+            raise ValueError(
+                "resilient mode has no overlap-exchange implementation; "
+                "use the plain exchange"
             )
 
     def with_(self, **kwargs) -> "SortConfig":

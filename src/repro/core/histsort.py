@@ -66,6 +66,10 @@ def histogram_sort(
     """
     if config is None:
         config = SortConfig()
+    if config.resilient:
+        from .resilient import resilient_sort
+
+        return resilient_sort(comm, local, config, capacities)
     local = np.asarray(local)
     if local.ndim != 1:
         raise ValueError("local partition must be 1-D")

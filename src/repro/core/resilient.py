@@ -1,0 +1,170 @@
+"""ULFM-style fault-tolerant driver around the histogram sort.
+
+The resilient sort runs the ordinary four-superstep
+:func:`~repro.core.histsort.histogram_sort` on a
+:class:`~repro.mpi.resilient.ResilientComm` — whose collectives travel the
+reliable p2p layer, healing injected drops/duplications by retransmission
+— inside a shrink-and-retry recovery loop modelled on MPI's User-Level
+Failure Mitigation (ULFM) proposal:
+
+1. Run one *epoch* of the sort on the current communicator.  A rank that
+   observes a failure (:class:`RankFailedError` from a crashed peer,
+   :class:`CommRevokedError`, or a :class:`MessageTimeoutError` from an
+   unhealable link) **revokes** the communicator, which hoists every
+   surviving peer out of whatever it was blocked on.
+2. All live ranks then **agree** (a fault-tolerant AND, immune to both
+   revocation and crashes) on whether everyone finished and the output
+   verified globally.  Agreement is the only exit: either every survivor
+   returns, or every survivor retries — no rank can be left behind.
+3. On disagreement the survivors **shrink** to a fresh communicator over
+   the live membership and re-run the sort — including a fresh splitter
+   determination, since the rank count changed — on their original,
+   untouched input partitions.
+
+Data on crashed ranks is lost (this models process failure, not
+checkpointing): the recovered sort is a correct, verified sort of the
+*survivors'* data.  Every rank ends each epoch with exactly one ``agree``
+and, on a failed epoch, exactly one ``shrink``, which keeps the
+fault-tolerant rendezvous generations congruent across ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..mpi.errors import CommRevokedError, MessageTimeoutError, RankFailedError
+from ..mpi.resilient import ResilientComm
+from .config import SortConfig
+from .histsort import SortResult, histogram_sort
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..mpi import Comm
+
+__all__ = ["ResilientSortResult", "RecoveryExhaustedError", "resilient_sort"]
+
+#: failures a recovery epoch can absorb; anything else is a bug and escapes
+RECOVERABLE = (RankFailedError, CommRevokedError, MessageTimeoutError)
+
+
+class RecoveryExhaustedError(RuntimeError):
+    """The recovery loop hit ``max_recovery_attempts`` without agreement."""
+
+
+@dataclass(frozen=True)
+class ResilientSortResult:
+    """A verified sort of the surviving ranks' data.
+
+    ``output`` is this rank's partition of the globally sorted surviving
+    data; ``comm`` is the (possibly shrunk) communicator it lives on.
+    """
+
+    output: np.ndarray
+    result: SortResult
+    comm: ResilientComm
+    attempts: int
+    survivors: tuple[int, ...]
+    failed: tuple[int, ...]
+
+    @property
+    def phases(self) -> dict[str, float]:
+        """Phase breakdown of the successful epoch."""
+        return self.result.phases
+
+    @property
+    def splitters(self):
+        return self.result.splitters
+
+
+def _verified(work: ResilientComm, n_in: int, output: np.ndarray) -> bool:
+    """Global output verification (collective over ``work``): element
+    conservation across the live ranks plus sorted, non-overlapping
+    partition boundaries."""
+    lo = float(output[0]) if output.size else None
+    hi = float(output[-1]) if output.size else None
+    if output.size and np.any(np.diff(output) < 0):
+        return False
+    cells = work.allgather((int(n_in), int(output.size), lo, hi))
+    if sum(c[0] for c in cells) != sum(c[1] for c in cells):
+        return False
+    prev_hi = None
+    for _, n_out, c_lo, c_hi in cells:
+        if n_out == 0:
+            continue
+        if prev_hi is not None and c_lo < prev_hi:
+            return False
+        prev_hi = c_hi
+    return True
+
+
+def resilient_sort(
+    comm: "Comm",
+    local: np.ndarray,
+    config: SortConfig | None = None,
+    capacities: Sequence[int] | None = None,
+) -> ResilientSortResult:
+    """Fault-tolerant :func:`histogram_sort`; collective over ``comm``.
+
+    Completes a verified sort of the surviving ranks' data under injected
+    message drops, duplications, delays, and rank crashes, or raises a
+    typed error (:class:`RecoveryExhaustedError` after too many epochs;
+    :class:`RankFailedError` if this rank cannot take part in recovery).
+    Never hangs: blocked survivors are hoisted out by revocation, crashed
+    peers by the runtime's failure notifications, and silent message loss
+    by virtual-time retry deadlines.
+    """
+    if config is None:
+        config = SortConfig(resilient=True)
+    local = np.asarray(local)
+    if local.ndim != 1:
+        raise ValueError("local partition must be 1-D")
+    if config.trace:
+        comm.ensure_tracing()
+    work = (
+        comm
+        if isinstance(comm, ResilientComm)
+        else ResilientComm(comm._state, comm.rank)
+    )
+    initial_members = tuple(work.world_ranks)
+    inner_cfg = config.with_(resilient=False)
+    tracer = comm.tracer
+
+    for attempt in range(1, config.max_recovery_attempts + 1):
+        result: SortResult | None = None
+        ok_local = True
+        try:
+            result = histogram_sort(
+                work,
+                local.copy(),
+                inner_cfg,
+                capacities if work.size == len(initial_members) else None,
+            )
+            ok_local = _verified(work, int(local.size), result.output)
+        except RECOVERABLE:
+            # Hoist peers still blocked on this epoch's traffic out of
+            # their waits, then vote to retry.
+            work.revoke()
+            ok_local = False
+        if work.agree(ok_local):
+            assert result is not None
+            survivors = tuple(work.world_ranks)
+            return ResilientSortResult(
+                output=result.output,
+                result=result,
+                comm=work,
+                attempts=attempt,
+                survivors=survivors,
+                failed=tuple(r for r in initial_members if r not in survivors),
+            )
+        t0 = work.clock
+        work.revoke()
+        work = work.shrink()
+        if tracer.enabled:
+            tracer.record("recover", t0, cat="fault", attempt=attempt,
+                          survivors=work.size)
+    raise RecoveryExhaustedError(
+        f"sort did not complete within {config.max_recovery_attempts} "
+        "recovery attempts"
+    )

@@ -1,0 +1,208 @@
+"""Chaos harness: sweep seeded fault plans over the resilient sort.
+
+Every case builds a deterministic :class:`FaultPlan` (seed x drop rate x
+rank count), runs the fault-tolerant histogram sort under it, and asserts
+the ULFM-style contract: the run ends in a **correctly sorted output of
+the surviving ranks' data** or a **clean typed error** — never a hang.
+A wall-clock backstop (``Runtime.run(timeout=...)``) turns any would-be
+hang into a hard failure with the per-rank wait states at expiry.
+
+Optionally every case is executed twice and the virtual-time makespan and
+fault tally are compared for exact equality (``--determinism``), pinning
+the schedule-independence guarantee of the fault layer.
+
+Usage::
+
+    python -m repro.faults.chaos --seeds 20 --sizes 4,8 --drops 0.05,0.2 \\
+        --crash-ranks 1 --check --determinism
+
+Exit status is non-zero if any case hangs, produces an unsorted/unverified
+output, escapes with an untyped error, or (with ``--determinism``) replays
+differently.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import SortConfig
+from ..core.histsort import histogram_sort
+from ..mpi import Runtime
+from ..mpi.errors import DeadlockError, SPMDError
+from .plan import FaultPlan, FaultSpec
+
+__all__ = ["ChaosCase", "ChaosOutcome", "run_case", "sweep", "main"]
+
+
+@dataclass(frozen=True)
+class ChaosCase:
+    """One point of the sweep."""
+
+    seed: int
+    size: int
+    drop_rate: float
+    crash_ranks: int
+    n_per_rank: int
+    check: bool
+
+    def plan(self) -> FaultPlan:
+        spec = FaultSpec(
+            drop_rate=self.drop_rate,
+            dup_rate=self.drop_rate / 2.0,
+            delay_rate=0.1,
+            degrade_links=1,
+            crash_ranks=self.crash_ranks,
+            crash_op_range=(10, 120),
+        )
+        return FaultPlan(spec, seed=self.seed, size=self.size)
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """Result of one case: ``kind`` is ``sorted``, ``typed-error`` or a
+    failure (``hang``, ``bad-output``, ``untyped-error``)."""
+
+    case: ChaosCase
+    kind: str
+    makespan: float
+    detail: str
+
+    @property
+    def ok(self) -> bool:
+        return self.kind in ("sorted", "typed-error")
+
+
+def _sort_program(comm, n_per_rank: int, data_seed: int):
+    rng = np.random.default_rng(data_seed + comm.rank)
+    local = rng.integers(0, 1 << 62, size=n_per_rank, dtype=np.int64)
+    res = histogram_sort(comm, local, SortConfig(resilient=True))
+    out = res.output
+    if out.size and np.any(np.diff(out) < 0):
+        raise AssertionError("locally unsorted output")
+    return (int(out.size), res.attempts, res.survivors, res.failed)
+
+
+def run_case(case: ChaosCase, wall_timeout: float = 120.0) -> ChaosOutcome:
+    """Run one chaos case; never raises for in-contract behaviour."""
+    plan = case.plan()
+    rt = Runtime(case.size, faults=plan, check=case.check)
+    try:
+        results = rt.run(_sort_program, args=(case.n_per_rank, 1000 + case.seed),
+                         timeout=wall_timeout)
+    except TimeoutError as exc:  # the backstop fired: a real hang
+        return ChaosOutcome(case, "hang", rt.elapsed(), str(exc))
+    except (SPMDError, DeadlockError) as exc:
+        detail = f"{type(exc).__name__}: {exc}".splitlines()[0]
+        return ChaosOutcome(case, "typed-error", rt.elapsed(),
+                            f"{detail} [{rt.fault_stats.summary()}]")
+    except BaseException as exc:  # noqa: BLE001 - classified, not swallowed
+        return ChaosOutcome(case, "untyped-error", rt.elapsed(),
+                            f"{type(exc).__name__}: {exc}")
+
+    live = [r for r in results if r is not None]
+    if not live:
+        return ChaosOutcome(case, "bad-output", rt.elapsed(), "no survivors")
+    survivors = live[0][2]
+    total = sum(r[0] for r in live)
+    want = case.n_per_rank * len(survivors)
+    if any((r[2], r[3]) != (live[0][2], live[0][3]) for r in live):
+        return ChaosOutcome(case, "bad-output", rt.elapsed(),
+                            "survivor sets disagree across ranks")
+    if total != want:
+        return ChaosOutcome(
+            case, "bad-output", rt.elapsed(),
+            f"element count {total} != {want} for {len(survivors)} survivors",
+        )
+    return ChaosOutcome(
+        case, "sorted", rt.elapsed(),
+        f"attempts={live[0][1]} survivors={len(survivors)}/{case.size} "
+        f"[{rt.fault_stats.summary()}]",
+    )
+
+
+def sweep(
+    cases: list[ChaosCase],
+    *,
+    wall_timeout: float = 120.0,
+    determinism: bool = False,
+    verbose: bool = True,
+) -> list[ChaosOutcome]:
+    """Run every case (twice with ``determinism``); returns all outcomes."""
+    outcomes: list[ChaosOutcome] = []
+    for case in cases:
+        out = run_case(case, wall_timeout)
+        if determinism and out.kind != "hang":
+            replay = run_case(case, wall_timeout)
+            if (replay.kind, replay.makespan, replay.detail) != (
+                out.kind, out.makespan, out.detail
+            ):
+                out = ChaosOutcome(
+                    case, "nondeterministic", out.makespan,
+                    f"first={out.kind}@{out.makespan!r} "
+                    f"replay={replay.kind}@{replay.makespan!r}",
+                )
+        outcomes.append(out)
+        if verbose:
+            flag = "ok " if out.ok else "FAIL"
+            print(
+                f"[{flag}] seed={case.seed:<3d} p={case.size:<2d} "
+                f"drop={case.drop_rate:<4g} crash={case.crash_ranks} "
+                f"check={int(case.check)} -> {out.kind:<11s} "
+                f"t={out.makespan:.5f} {out.detail}"
+            )
+    return outcomes
+
+
+def _parse_list(text: str, cast):
+    return [cast(x) for x in text.split(",") if x]
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.faults.chaos", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ap.add_argument("--seeds", type=int, default=20,
+                    help="number of fault seeds per configuration")
+    ap.add_argument("--seed0", type=int, default=1, help="first seed")
+    ap.add_argument("--sizes", type=str, default="4,8",
+                    help="comma-separated rank counts")
+    ap.add_argument("--drops", type=str, default="0.05,0.2",
+                    help="comma-separated drop rates (dup rate is half)")
+    ap.add_argument("--crash-ranks", type=int, default=1,
+                    help="ranks the plan crashes (0 disables crashes)")
+    ap.add_argument("--n", type=int, default=96, help="elements per rank")
+    ap.add_argument("--check", action="store_true",
+                    help="enable the runtime correctness checker")
+    ap.add_argument("--determinism", action="store_true",
+                    help="run every case twice and require identical replay")
+    ap.add_argument("--wall-timeout", type=float, default=120.0,
+                    help="wall-clock backstop per run (seconds)")
+    args = ap.parse_args(argv)
+
+    cases = [
+        ChaosCase(seed=s, size=p, drop_rate=d, crash_ranks=args.crash_ranks,
+                  n_per_rank=args.n, check=args.check)
+        for p in _parse_list(args.sizes, int)
+        for d in _parse_list(args.drops, float)
+        for s in range(args.seed0, args.seed0 + args.seeds)
+    ]
+    outcomes = sweep(cases, wall_timeout=args.wall_timeout,
+                     determinism=args.determinism)
+    bad = [o for o in outcomes if not o.ok]
+    kinds = sorted({o.kind for o in outcomes})
+    counts = {k: sum(1 for o in outcomes if o.kind == k) for k in kinds}
+    print(f"chaos: {len(outcomes)} runs -> "
+          + ", ".join(f"{k}={v}" for k, v in counts.items()))
+    if bad:
+        print(f"chaos: {len(bad)} FAILING case(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,20 +13,32 @@ Quick start::
         return total
 
     print(run_spmd(4, program))
+
+Fault tolerance: pass ``faults=FaultPlan(...)`` (see :mod:`repro.faults`)
+to inject deterministic message drops/duplications/delays and rank
+crashes; :mod:`repro.mpi.reliable` and :class:`~repro.mpi.resilient.
+ResilientComm` provide the ARQ p2p layer and drop-tolerant collectives,
+and ``comm.revoke()`` / ``comm.agree()`` / ``comm.shrink()`` implement
+ULFM-style recovery.
 """
 
 from .comm import ANY_SOURCE, ANY_TAG, Comm
 from .errors import (
     Aborted,
     CollectiveMismatchError,
+    CommRevokedError,
     CommunicatorError,
     DeadlockError,
     MessageLeakError,
+    MessageTimeoutError,
+    RankFailedError,
     SPMDError,
 )
 from .ops import LAND, LOR, MAX, MAXLOC, MIN, MINLOC, PROD, SUM, ReduceOp
 from .payload import copy_payload, payload_nbytes
+from .reliable import DEFAULT_POLICY, RetryPolicy, reliable_recv, reliable_send
 from .requests import Request, waitall
+from .resilient import ResilientComm
 from .runtime import Runtime, Stats, run_spmd
 
 __all__ = [
@@ -35,7 +47,9 @@ __all__ = [
     "Aborted",
     "CollectiveMismatchError",
     "Comm",
+    "CommRevokedError",
     "CommunicatorError",
+    "DEFAULT_POLICY",
     "DeadlockError",
     "LAND",
     "LOR",
@@ -44,15 +58,21 @@ __all__ = [
     "MIN",
     "MINLOC",
     "MessageLeakError",
+    "MessageTimeoutError",
     "PROD",
+    "RankFailedError",
     "ReduceOp",
     "Request",
+    "ResilientComm",
+    "RetryPolicy",
     "Runtime",
     "SPMDError",
     "SUM",
     "Stats",
     "copy_payload",
     "payload_nbytes",
+    "reliable_recv",
+    "reliable_send",
     "run_spmd",
     "waitall",
 ]

@@ -30,10 +30,17 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from ..trace.events import NULL_TRACER, NullTracer, RankTracer
-from .errors import Aborted, CommunicatorError
+from .errors import (
+    Aborted,
+    CommRevokedError,
+    CommunicatorError,
+    MessageTimeoutError,
+    RankFailedError,
+)
 from .ops import SUM, ReduceOp
 from .payload import copy_payload, payload_nbytes
 from .requests import Request, _DoneRequest, _IRecvRequest
+from .tags import NAMESPACE_WIDTH, RELIABLE_BASE
 
 ANY_SOURCE = -1
 ANY_TAG = -1
@@ -46,6 +53,9 @@ class _Message:
     payload: Any
     departure: float  # sender's virtual clock when the message left
     nbytes: int
+    #: extra transfer-cost multiples injected by the fault plan (delay
+    #: spikes + degraded-link windows); 0.0 on every faultless path
+    penalty: float = 0.0
 
 
 class _Mailbox:
@@ -77,6 +87,27 @@ class _CommState:
         self.cell: Any = None
         self.mailboxes = [_Mailbox() for _ in range(self.size)]
         self.aborted = False
+        #: ULFM revocation flag; poisons every blocked/future ordinary
+        #: operation on this communicator (shrink/agree keep working)
+        self.revoked = False
+        self._members_set = frozenset(self.world_ranks)
+        # fault-tolerant rendezvous (agree/shrink): generation-stamped
+        # deposits completed over the live membership, independent of the
+        # (possibly broken) collective barrier.
+        self.ft_cond = threading.Condition()
+        self.ft_count = [0] * self.size
+        self.ft_deposits: dict[int, dict[int, tuple[Any, float]]] = {}
+        self.ft_results: dict[int, tuple[Any, float, list[int]]] = {}
+        # reliable p2p bookkeeping, all keyed (own rank, peer, tag): send
+        # sequence counters, highest (ack seq, arrival), highest in-order
+        # delivery, buffered (payload, arrival) pairs awaiting consumption,
+        # and per-sequence ack transmission counts.  Every key's first
+        # element is the rank that touches it, so no locking is needed.
+        self.rel_seq: dict[tuple[int, int, int], int] = {}
+        self.rel_acked: dict[tuple[int, int, int], tuple[int, float]] = {}
+        self.rel_delivered: dict[tuple[int, int, int], int] = {}
+        self.rel_buf: dict[tuple[int, int, int], list[tuple[Any, float]]] = {}
+        self.rel_ackseq: dict[tuple[int, int, int, int], int] = {}
         #: serial number of this communicator (set by the runtime registry);
         #: together with the per-rank collective sequence number it matches
         #: the spans of one collective invocation across ranks.
@@ -102,17 +133,27 @@ class _CommState:
         for mb in self.mailboxes:
             with mb.cond:
                 mb.cond.notify_all()
+        with self.ft_cond:
+            self.ft_cond.notify_all()
 
     def _checked_barrier_wait(self, idx: int, op: str) -> int:
-        """``barrier.wait()`` with blocked-rank registration for the checker."""
-        chk = self.runtime.checker
-        if chk is None:
-            return self.barrier.wait()
-        chk.block_collective(self, idx, op)
+        """``barrier.wait()`` with blocked-rank registration for the wait
+        registry (always) and the runtime checker (when attached)."""
+        rt = self.runtime
+        wr = self.world_ranks[idx]
+        reg = rt._registry
+        reg.block_barrier(wr, self.barrier, f"collective '{op}' on comm#{self.trace_id}")
         try:
-            return self.barrier.wait()
+            chk = rt.checker
+            if chk is None:
+                return self.barrier.wait()
+            chk.block_collective(self, idx, op)
+            try:
+                return self.barrier.wait()
+            finally:
+                chk.unblock(wr)
         finally:
-            chk.unblock(self.world_ranks[idx])
+            reg.unblock(wr)
 
     def collective(
         self,
@@ -124,12 +165,26 @@ class _CommState:
         trace_bytes: int = 0,
         root: int | None = None,
     ) -> Any:
+        rt = self.runtime
+        if rt._faults is not None:
+            rt.maybe_crash(self.world_ranks[idx])
         if self.aborted:
-            chk = self.runtime.checker
+            chk = rt.checker
             if chk is not None:
                 chk.maybe_raise_deadlock()
             raise Aborted("communicator already aborted")
-        rt = self.runtime
+        if self.revoked:
+            raise CommRevokedError(
+                f"communicator #{self.trace_id} was revoked"
+            )
+        failed = rt.failed_ranks
+        if failed and not failed.isdisjoint(self._members_set):
+            raise RankFailedError(
+                f"collective '{trace_name or '<anonymous>'}' on comm#"
+                f"{self.trace_id}: member rank(s) "
+                f"{sorted(failed & self._members_set)} have failed",
+                failed & self._members_set,
+            )
         chk = rt.checker
         if chk is not None:
             chk.collective_op(self, idx, trace_name or "<anonymous>", root)
@@ -165,6 +220,19 @@ class _CommState:
         except threading.BrokenBarrierError:
             if chk is not None:
                 chk.maybe_raise_deadlock()
+            if not self.aborted:
+                if self.revoked:
+                    raise CommRevokedError(
+                        f"communicator #{self.trace_id} was revoked during "
+                        f"'{op}'"
+                    ) from None
+                failed = rt.failed_ranks & self._members_set
+                if failed:
+                    raise RankFailedError(
+                        f"rank(s) {sorted(failed)} failed during "
+                        f"collective '{op}' on comm#{self.trace_id}",
+                        failed,
+                    ) from None
             raise Aborted("runtime aborted during a collective") from None
         if rec is not None and trace_name is not None:
             t1 = float(rt.clocks[wrank])
@@ -185,6 +253,123 @@ class _CommState:
                 last_arrival=last,
             )
         return out
+
+    # ------------------------------------------------ fault-tolerant path
+
+    def _ft_try_complete(self, gen: int, combine, cost_fn) -> None:
+        """Complete rendezvous generation ``gen`` if every live member has
+        deposited (caller holds ``ft_cond``)."""
+        if gen in self.ft_results:
+            return
+        deps = self.ft_deposits.get(gen, {})
+        failed = self.runtime.failed_ranks
+        live = [i for i in range(self.size)
+                if self.world_ranks[i] not in failed]
+        if not live or any(i not in deps for i in live):
+            return
+        order = sorted(deps)
+        values = [deps[i][0] for i in order]
+        entry = max(deps[i][1] for i in order)
+        live_world = [self.world_ranks[i] for i in live]
+        result = combine(values, order, live)
+        self.ft_results[gen] = (result, entry + float(cost_fn(live_world)), live)
+        self.ft_cond.notify_all()
+
+    def _ft_quorum(self, gen: int) -> bool:
+        """Lock-free completion test for the timeout arbiter (monotone:
+        deposits and failures only grow)."""
+        deps = self.ft_deposits.get(gen)
+        if deps is None:
+            return False
+        failed = self.runtime.failed_ranks
+        return all(idx in deps or self.world_ranks[idx] in failed
+                   for idx in range(self.size))
+
+    def _pending_protocol(self, idx: int) -> bool:
+        """Any reliable-layer wire message sitting in ``idx``'s mailbox?
+        Read without the mailbox lock — callers are the quiescence arbiter
+        (mailboxes stable) and the ft wait loop (re-checked under
+        ``ft_cond``, which orders against the sender's post-append
+        notification)."""
+        for m in self.mailboxes[idx].messages:
+            if RELIABLE_BASE <= m.tag < RELIABLE_BASE + NAMESPACE_WIDTH:
+                return True
+        return False
+
+    def ft_collective(self, idx: int, value: Any, combine, cost_fn,
+                      name: str, comm: "Comm | None" = None) -> Any:
+        """Fault-tolerant rendezvous (``agree``/``shrink``).
+
+        Completes over the set of *live* members without touching the
+        (possibly broken) collective barrier: each member's Nth ft op
+        joins generation N; a generation completes once every live member
+        has deposited, and rank crashes shrink that requirement and wake
+        the waiters, so completion never hangs on a dead rank.  This path
+        contains no crash checkpoints: a rank that deposits is guaranteed
+        to read the result, which is what makes completion sound.
+
+        While waiting, the rank keeps *servicing reliable-channel traffic*
+        (acknowledging data, buffering payloads) via ``comm`` — the ULFM
+        agreement runs over a live transport.  Without this, a peer whose
+        last ack of the epoch was dropped would retransmit into the void:
+        everyone it could reach has moved into the rendezvous and would
+        never re-ack, so its retry ladder is doomed no matter the policy.
+        """
+        rt = self.runtime
+        reg = rt._registry
+        wr = self.world_ranks[idx]
+        drain = comm is not None and rt._faults is not None
+        if self.aborted:
+            raise Aborted(f"runtime aborted before '{name}'")
+        with self.ft_cond:
+            gen = self.ft_count[idx]
+            self.ft_count[idx] = gen + 1
+            deps = self.ft_deposits.setdefault(gen, {})
+            deps[idx] = (value, float(rt.clocks[wr]))
+            self._ft_try_complete(gen, combine, cost_fn)
+            done = gen in self.ft_results
+        if not done:
+            def can_progress() -> bool:
+                return (self.aborted or gen in self.ft_results
+                        or self._ft_quorum(gen)
+                        or (drain and self._pending_protocol(idx)))
+
+            def wake() -> None:
+                with self.ft_cond:
+                    self.ft_cond.notify_all()
+
+            reg.block(wr, "ft", f"'{name}' on comm#{self.trace_id}",
+                      can_progress=can_progress, notify=wake)
+            try:
+                while True:
+                    with self.ft_cond:
+                        if self.aborted:
+                            raise Aborted(f"runtime aborted during '{name}'")
+                        self._ft_try_complete(gen, combine, cost_fn)
+                        if gen in self.ft_results:
+                            break
+                        if not (drain and self._pending_protocol(idx)):
+                            reg.rearm(wr)
+                            self.ft_cond.wait()
+                        # Mark the wake in flight (or the drain below) so
+                        # the arbiter holds its fire until repoll.
+                        reg.wake_ack(wr)
+                    if drain:
+                        # Outside ft_cond: acking sends would self-deadlock
+                        # on its notification otherwise.
+                        comm._service_channels()
+                        reg.repoll(wr)
+            finally:
+                reg.unblock(wr)
+        result, newclock, live = self.ft_results[gen]
+        t0 = float(rt.clocks[wr])
+        rt.clocks[wr] = max(t0, newclock)
+        rec = rt.trace
+        if rec is not None:
+            rec.record(wr, name, "collective", t0, float(rt.clocks[wr]),
+                       comm=self.trace_id, nranks=len(live),
+                       level=self._group_level())
+        return result
 
 
 class Comm:
@@ -275,18 +460,41 @@ class Comm:
 
     # ------------------------------------------------------------------- p2p
 
-    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        """Buffered (eager) send: never blocks."""
+    def send(self, obj: Any, dest: int, tag: int = 0, *,
+             _at: float | None = None, _stream: int = 0,
+             _event: tuple[int, ...] | None = None) -> None:
+        """Buffered (eager) send: never blocks.
+
+        Under a fault plan the message may be dropped, duplicated, or
+        tagged with a delay penalty — decided deterministically from the
+        plan's seed and this link's per-stream send counter.  Sends to
+        crashed ranks are silently buffered into the dead mailbox (like
+        an eager MPI send whose peer died): failure surfaces at the
+        *receiving* side, which keeps the sender's behaviour independent
+        of crash timing.
+
+        ``_at`` (protocol-internal, used for the reliable layer's acks)
+        stamps the message with the given causal departure time instead
+        of this rank's clock and leaves the clock untouched, so the
+        timestamp is independent of what else this rank happened to be
+        doing — a prerequisite for deterministic virtual times under
+        faults.  ``_at`` sends are not crash checkpoints.
+        """
         self._check_peer(dest)
+        rt = self._rt
+        plan = rt._faults
+        if plan is not None and _at is None:
+            rt.maybe_crash(self.world_rank)
         nbytes = payload_nbytes(obj)
-        t0 = self.clock
-        departure = t0 + self._rt.cost.software_overhead
-        self.clock = departure
+        t0 = self.clock if _at is None else _at
+        departure = t0 + rt.cost.software_overhead
+        if _at is None:
+            self.clock = departure
         msg = _Message(self._rank, tag, copy_payload(obj), departure, nbytes)
-        self._rt.stats.record_send(self.world_rank, nbytes)
-        rec = self._rt.trace
+        rt.stats.record_send(self.world_rank, nbytes)
+        rec = rt.trace
+        wdest = self._state.world_ranks[dest]
         if rec is not None:
-            wdest = self._state.world_ranks[dest]
             rec.record(
                 self.world_rank,
                 "send",
@@ -298,7 +506,28 @@ class Comm:
                 bytes=nbytes,
                 level=self._pair_level(wdest),
             )
-        chk = self._rt.checker
+        fault = None
+        if plan is not None:
+            fault = plan.link_event(self.world_rank, wdest, _stream, _event)
+            penalty = fault.delay_factor + plan.degrade_factor(
+                self.world_rank, wdest, departure
+            )
+            # Protocol (``_at``) sends are reactive — whether the very last
+            # ack of a dying epoch goes out depends on thread scheduling —
+            # so only data-plane faults are tallied; that keeps FaultStats
+            # a pure function of the seed.
+            if penalty:
+                msg.penalty = penalty
+                if _at is None:
+                    rt._count_fault("delayed")
+            if fault.drop:
+                if _at is None:
+                    rt._count_fault("dropped")
+                if rec is not None:
+                    rec.record(self.world_rank, "drop", "fault", t0, departure,
+                               peer=wdest, tag=tag, bytes=nbytes)
+                return
+        chk = rt.checker
         if chk is not None:
             # Shadow-table update must precede the mailbox append so the
             # deadlock analyzer can only over-estimate wakeups, never miss
@@ -308,63 +537,232 @@ class Comm:
         with mb.cond:
             mb.messages.append(msg)
             mb.cond.notify_all()
+        if fault is not None and fault.duplicate:
+            if _at is None:
+                rt._count_fault("duplicated")
+            if rec is not None:
+                rec.record(self.world_rank, "dup", "fault", t0, departure,
+                           peer=wdest, tag=tag, bytes=nbytes)
+            dup = _Message(self._rank, tag, copy_payload(msg.payload),
+                           departure, nbytes, penalty=msg.penalty)
+            if chk is not None:
+                chk.note_send(self._state, dest, self._rank, tag)
+            with mb.cond:
+                mb.messages.append(dup)
+                mb.cond.notify_all()
+        if plan is not None and \
+                RELIABLE_BASE <= tag < RELIABLE_BASE + NAMESPACE_WIDTH:
+            # Wake ft-blocked members so they service the channel (the
+            # dest may already sit in agree/shrink; see ft_collective).
+            with self._state.ft_cond:
+                self._state.ft_cond.notify_all()
 
     def recv(
         self,
         source: int = ANY_SOURCE,
         tag: int = ANY_TAG,
         *,
+        timeout: float | None = None,
         return_status: bool = False,
         _span_name: str = "recv",
     ) -> Any:
-        """Blocking receive; with ``return_status`` returns ``(obj, (src, tag))``."""
-        if source != ANY_SOURCE:
-            self._check_peer(source)
-        rec = self._rt.trace
-        chk = self._rt.checker
+        """Blocking receive; with ``return_status`` returns ``(obj, (src, tag))``.
+
+        ``timeout`` is a *virtual-time* deadline: if no matching message
+        can arrive before ``clock + timeout`` — decided by the runtime's
+        quiescence arbiter, never by wall clock — the rank's clock jumps
+        to the deadline and :class:`MessageTimeoutError` is raised.  A
+        receive whose named source has crashed (and left no matching
+        message behind) raises :class:`RankFailedError`; a receive on a
+        revoked communicator that can no longer be satisfied raises
+        :class:`CommRevokedError`.
+        """
+        rt = self._rt
+        if rt._faults is not None:
+            rt.maybe_crash(self.world_rank)
+        rec = rt.trace
         t0 = self.clock if rec is not None else 0.0
-        mb = self._state.mailboxes[self._rank]
-        with mb.cond:
-            while True:
-                if self._state.aborted:
-                    if chk is not None:
-                        chk.maybe_raise_deadlock()
-                    raise Aborted("runtime aborted during recv")
-                msg = mb.find(source, tag, remove=True)
-                if msg is not None:
-                    if chk is not None:
-                        chk.note_consume(self._state, self._rank, msg.src, msg.tag)
-                    break
-                if chk is not None:
-                    chk.block_recv(self._state, self._rank, source, tag)
-                mb.cond.wait()
-                if chk is not None:
-                    chk.unblock(self.world_rank)
+        msg = self._recv_message(source, tag, timeout=timeout,
+                                 span_name=_span_name)
         wsrc = self._state.world_ranks[msg.src]
-        cost = self._rt.cost.ptp(wsrc, self.world_rank, msg.nbytes)
-        self.clock = max(self.clock, msg.departure + cost)
+        self.clock = max(self.clock, self._arrival(msg))
         if rec is not None:
             # The rank blocks from t0 until the message departs, then pays
             # the transfer: idle is the blocked share, the remainder is
             # transfer time (both zero if the message completed in the past).
             t1 = self.clock
             idle = max(0.0, min(msg.departure, t1) - t0) if t1 > t0 else 0.0
-            rec.record(
-                self.world_rank,
-                _span_name,
-                "p2p",
-                t0,
-                t1,
-                src=wsrc,
-                tag=msg.tag,
-                bytes=msg.nbytes,
-                departure=msg.departure,
-                idle=idle,
-                level=self._pair_level(wsrc),
-            )
+            if msg.penalty:
+                rec.record(
+                    self.world_rank, _span_name, "p2p", t0, t1,
+                    src=wsrc, tag=msg.tag, bytes=msg.nbytes,
+                    departure=msg.departure, idle=idle,
+                    level=self._pair_level(wsrc), fault_delay=msg.penalty,
+                )
+            else:
+                rec.record(
+                    self.world_rank,
+                    _span_name,
+                    "p2p",
+                    t0,
+                    t1,
+                    src=wsrc,
+                    tag=msg.tag,
+                    bytes=msg.nbytes,
+                    departure=msg.departure,
+                    idle=idle,
+                    level=self._pair_level(wsrc),
+                )
         if return_status:
             return msg.payload, (msg.src, msg.tag)
         return msg.payload
+
+    def _arrival(self, msg: _Message) -> float:
+        """Virtual arrival time of a received message (departure + priced
+        transfer, inflated by any injected delay penalty)."""
+        wsrc = self._state.world_ranks[msg.src]
+        cost = self._rt.cost.ptp(wsrc, self.world_rank, msg.nbytes)
+        if msg.penalty:
+            cost = cost * (1.0 + msg.penalty)
+        return msg.departure + cost
+
+    def _recv_message(
+        self, source: int, tag: int, *, timeout: float | None = None,
+        fail_source: int | None = None, span_name: str = "recv",
+    ) -> _Message:
+        """Clock-neutral matching receive: returns the raw message without
+        advancing this rank's clock or recording a span (the caller decides
+        when the arrival is merged — the reliable layer consumes channel
+        traffic on behalf of *later* operations).  ``fail_source`` names a
+        group rank whose death fails the wait even under ``ANY_SOURCE``
+        matching; a named ``source`` implies it."""
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+            if fail_source is None:
+                fail_source = source
+        chk = self._rt.checker
+        mb = self._state.mailboxes[self._rank]
+        with mb.cond:
+            if self._state.aborted:
+                if chk is not None:
+                    chk.maybe_raise_deadlock()
+                raise Aborted("runtime aborted during recv")
+            msg = mb.find(source, tag, remove=True)
+            if msg is not None and chk is not None:
+                chk.note_consume(self._state, self._rank, msg.src, msg.tag)
+        if msg is None:
+            msg = self._recv_wait(mb, source, tag, timeout, span_name,
+                                  fail_source)
+        return msg
+
+    def _recv_wait(
+        self, mb: _Mailbox, source: int, tag: int, timeout: float | None,
+        span_name: str, fail_source: int | None,
+    ) -> _Message:
+        """Slow path of :meth:`recv`: block until a matching message, an
+        abort/revocation/failure wake-up, or a fired virtual deadline."""
+        rt = self._rt
+        state = self._state
+        chk = rt.checker
+        reg = rt._registry
+        rank = self._rank
+        wr = self.world_rank
+        entry = float(rt.clocks[wr])
+        deadline = None if timeout is None else entry + timeout
+
+        def can_progress() -> bool:
+            # Mirrors the wake conditions of the loop below; called by the
+            # timeout arbiter at quiescence only (mailbox lists are stable
+            # there, so reading without the condition is safe).  A revoked
+            # communicator deliberately does NOT count as progress: the
+            # message may still be (causally) in flight, and whether it
+            # beats the revocation wake-up is a thread-scheduling race.
+            # The arbiter hoists revoked waits at quiescence instead.
+            if state.aborted:
+                return True
+            if mb.find(source, tag, remove=False) is not None:
+                return True
+            failed = rt.failed_ranks
+            if failed:
+                if fail_source is not None and \
+                        state.world_ranks[fail_source] in failed:
+                    return True
+                if fail_source is None and source == ANY_SOURCE and all(
+                    r in failed
+                    for i, r in enumerate(state.world_ranks)
+                    if i != rank
+                ):
+                    return True
+            return False
+
+        def wake() -> None:
+            with mb.cond:
+                mb.cond.notify_all()
+
+        detail = (
+            f"recv(source={'ANY' if source < 0 else source}, "
+            f"tag={'ANY' if tag < 0 else tag}) on comm#{state.trace_id}"
+        )
+        w = reg.block(wr, "recv", detail, deadline=deadline,
+                      can_progress=can_progress, notify=wake,
+                      revocable=lambda: state.revoked)
+        try:
+            with mb.cond:
+                while True:
+                    if state.aborted:
+                        if chk is not None:
+                            chk.maybe_raise_deadlock()
+                        raise Aborted("runtime aborted during recv")
+                    msg = mb.find(source, tag, remove=True)
+                    if msg is not None:
+                        if chk is not None:
+                            chk.note_consume(state, rank, msg.src, msg.tag)
+                        return msg
+                    failed = rt.failed_ranks
+                    if failed:
+                        comm_failed = failed & state._members_set
+                        if fail_source is not None and \
+                                state.world_ranks[fail_source] in failed:
+                            raise RankFailedError(
+                                f"recv: peer rank {fail_source} (world "
+                                f"{state.world_ranks[fail_source]}) has failed",
+                                comm_failed,
+                            )
+                        if fail_source is None and source == ANY_SOURCE and all(
+                            r in failed
+                            for i, r in enumerate(state.world_ranks)
+                            if i != rank
+                        ):
+                            raise RankFailedError(
+                                "recv: every peer on "
+                                f"comm#{state.trace_id} has failed",
+                                comm_failed,
+                            )
+                    if w.hoisted:
+                        raise CommRevokedError(
+                            f"communicator #{state.trace_id} was revoked "
+                            "while blocked in recv"
+                        )
+                    if w.fired:
+                        rt.clocks[wr] = max(float(rt.clocks[wr]), w.deadline)
+                        rec = rt.trace
+                        if rec is not None:
+                            rec.record(wr, f"{span_name}_timeout", "fault",
+                                       entry, float(rt.clocks[wr]),
+                                       tag=tag, deadline=w.deadline)
+                        raise MessageTimeoutError(
+                            f"{detail} timed out at virtual "
+                            f"t={w.deadline:.6g}s (timeout={timeout:g}s)"
+                        )
+                    if chk is not None:
+                        chk.block_recv(state, rank, source, tag)
+                    reg.rearm(wr)
+                    mb.cond.wait()
+                    reg.wake_ack(wr)
+                    if chk is not None:
+                        chk.unblock(wr)
+        finally:
+            reg.unblock(wr)
 
     def sendrecv(
         self, obj: Any, dest: int, source: int | None = None, tag: int = 0
@@ -702,6 +1100,88 @@ class Comm:
         dup = self.split(0, self._rank)
         assert dup is not None
         return dup
+
+    # ------------------------------------------------------- fault tolerance
+
+    @property
+    def revoked(self) -> bool:
+        """True once any member has called :meth:`revoke`."""
+        return self._state.revoked
+
+    @property
+    def failed(self) -> frozenset[int]:
+        """World ranks of this communicator's members that have crashed."""
+        return frozenset(self._rt.failed_ranks) & self._state._members_set
+
+    def revoke(self) -> None:
+        """ULFM ``MPI_Comm_revoke``: poison the communicator.
+
+        Every member blocked in (or later entering) a p2p or plain
+        collective operation on this communicator raises
+        :class:`CommRevokedError`.  The fault-tolerant rendezvous
+        operations :meth:`agree` and :meth:`shrink` remain usable — that
+        is the whole point: survivors revoke, agree on the outcome, and
+        shrink to continue.  Idempotent and deliberately *local*: it
+        returns without waiting for other ranks.
+        """
+        state = self._state
+        if state.revoked:
+            return
+        state.revoked = True
+        rec = self._rt.trace
+        if rec is not None:
+            now = float(self._rt.clocks[self.world_rank])
+            rec.record(self.world_rank, "revoke", "fault", now, now,
+                       comm=state.trace_id)
+        # Wake everyone: break the collective barrier and poke mailboxes so
+        # blocked peers re-check `state.revoked`.
+        state.barrier.abort()
+        for mb in state.mailboxes:
+            with mb.cond:
+                mb.cond.notify_all()
+
+    def agree(self, flag: Any = True) -> bool:
+        """ULFM ``MPI_Comm_agree``: fault-tolerant logical-AND over the
+        *live* members.  Completes even with crashed members and on a
+        revoked communicator; all live members get the same result."""
+        rt = self._rt
+
+        def combine(values: list[Any], order: list[int], live: list[int]) -> bool:
+            return all(bool(v) for v in values)
+
+        def cost_fn(live_world: list[int]) -> float:
+            return rt.cost.allreduce(8, live_world)
+
+        return self._state.ft_collective(
+            self._rank, flag, combine, cost_fn, "agree", comm=self
+        )
+
+    def shrink(self) -> "Comm":
+        """ULFM ``MPI_Comm_shrink``: build a new communicator containing
+        exactly the live members (preserving rank order).  Fault-tolerant
+        and revoke-immune, like :meth:`agree`."""
+        rt = self._rt
+        state = self._state
+
+        def combine(values: list[Any], order: list[int], live: list[int]):
+            new_state = _CommState(rt, [state.world_ranks[i] for i in live])
+            mapping = {idx: new_rank for new_rank, idx in enumerate(live)}
+            return new_state, mapping
+
+        def cost_fn(live_world: list[int]) -> float:
+            return rt.cost.comm_split(live_world)
+
+        new_state, mapping = self._state.ft_collective(
+            self._rank, None, combine, cost_fn, "shrink", comm=self
+        )
+        return type(self)(new_state, mapping[self._rank])
+
+    def _service_channels(self) -> int:
+        """Drain and process pending reliable-layer wire traffic (clock
+        neutral; see :func:`repro.mpi.reliable.service_pending`)."""
+        from .reliable import service_pending  # circular at module level
+
+        return service_pending(self)
 
     # --------------------------------------------------------------- helpers
 

@@ -2,22 +2,41 @@
 
 from __future__ import annotations
 
+import traceback
+
+
+def _frame_of(exc: BaseException) -> str | None:
+    """``file:line (function)`` of the innermost traceback frame."""
+    tb = traceback.extract_tb(exc.__traceback__)
+    if not tb:
+        return None
+    f = tb[-1]
+    return f"{f.filename}:{f.lineno} ({f.name})"
+
 
 class SPMDError(RuntimeError):
     """One or more ranks raised; carries the per-rank exceptions.
 
     The first failing rank's exception is chained as ``__cause__`` so that
-    pytest tracebacks point at the real failure.
+    pytest tracebacks point at the real failure; the message carries a
+    one-line traceback summary for *every* failed rank, so failures on
+    higher-numbered ranks are diagnosable without re-running.
     """
 
     def __init__(self, failures: dict[int, BaseException]):
         self.failures = dict(failures)
         ranks = ", ".join(str(r) for r in sorted(self.failures))
         first = self.failures[min(self.failures)]
-        super().__init__(
+        lines = [
             f"SPMD program failed on rank(s) {ranks}: "
             f"{type(first).__name__}: {first}"
-        )
+        ]
+        for r in sorted(self.failures):
+            exc = self.failures[r]
+            where = _frame_of(exc)
+            at = f" at {where}" if where else ""
+            lines.append(f"  rank {r}: {type(exc).__name__}: {exc}{at}")
+        super().__init__("\n".join(lines))
 
 
 class Aborted(RuntimeError):
@@ -54,3 +73,48 @@ class DeadlockError(CommunicatorError):
 class MessageLeakError(CommunicatorError):
     """A ``check=True`` run finished with undelivered messages or pending
     requests; the message lists every orphaned (source, dest, tag)."""
+
+
+class RankFailedError(CommunicatorError):
+    """An operation involved a rank that has crashed (ULFM ERR_PROC_FAILED).
+
+    Raised from collectives whose membership includes a dead rank and from
+    receives whose (named) source is dead with no deliverable message.
+    Survivors recover by agreeing on the failure (:meth:`Comm.agree`) and
+    continuing on a shrunken communicator (:meth:`Comm.shrink`).
+    """
+
+    def __init__(self, msg: str, failed: frozenset[int] = frozenset()):
+        super().__init__(msg)
+        #: world ranks known dead on this communicator when the error rose
+        self.failed = frozenset(failed)
+
+
+class CommRevokedError(CommunicatorError):
+    """The communicator was revoked (ULFM MPI_Comm_revoke).
+
+    After any member calls :meth:`Comm.revoke`, every pending and future
+    operation on the communicator raises this — except the recovery calls
+    :meth:`Comm.shrink` and :meth:`Comm.agree` — so all survivors converge
+    on the recovery path instead of blocking on peers that already left it.
+    """
+
+
+class MessageTimeoutError(CommunicatorError):
+    """A ``recv(timeout=...)`` virtual-time deadline expired.
+
+    The deadline is priced on the virtual clock: the receiving rank's
+    clock is advanced to the deadline before this is raised, exactly as if
+    it had idled the full timeout.  The retry layer
+    (:mod:`repro.mpi.reliable`) turns this into retransmissions.
+    """
+
+
+class RankCrashed(BaseException):
+    """Internal signal unwinding a rank that a fault plan just killed.
+
+    Deliberately a ``BaseException``: an injected crash must terminate the
+    rank's program even through ``except Exception`` handlers, like a real
+    process death would.  The runtime catches it in the rank worker; user
+    code should never handle it.
+    """

@@ -1,0 +1,271 @@
+"""Drop/duplicate-tolerant p2p: sequence numbers, acks, retries.
+
+Plain :meth:`~repro.mpi.comm.Comm.send` is fire-and-forget: under a
+:class:`~repro.faults.FaultPlan` a message may be dropped (never
+delivered) or duplicated.  This module layers a stop-and-wait ARQ
+protocol on top:
+
+* :func:`reliable_send` stamps each payload with a per
+  ``(sender, dest, tag)`` sequence number and blocks for the matching
+  acknowledgement with a *virtual-time* deadline.  No ack in time →
+  resend with exponential backoff per :class:`RetryPolicy`; still
+  nothing after ``max_attempts`` → :class:`MessageTimeoutError`.
+* :func:`reliable_recv` delivers the next in-order payload of one
+  channel, acknowledging every arrival — acks for already-delivered
+  sequence numbers are what terminate sender retries when it was the
+  *ack* that got dropped — and deduplicating retransmissions and
+  injected duplicates.
+
+Data and acks share one wire tag (``RELIABLE_BASE + tag``), and — the
+part that makes the protocol live — **every blocked reliable operation
+services the whole channel**: a sender waiting for its ack still
+receives, acknowledges, and buffers incoming data (delivered later, in
+order, by ``reliable_recv``), and a receiver waiting for one peer still
+acknowledges retransmissions from others.  Without this, a dropped ack
+starves its sender: the receiver has moved on and would only re-ack at
+its *next* receive on that channel, which may itself be blocked behind
+the stuck sender.
+
+Determinism of virtual time
+---------------------------
+Channel servicing is *causal*, not clocked: :func:`_dispatch` consumes
+wire messages without advancing the servicing rank's clock, and each
+message carries its own arrival time (departure + priced transfer).
+Acks are stamped with the causal arrival of the data they acknowledge
+(``send(..., _at=arrival)``) rather than the acking rank's current —
+schedule-dependent — clock, and they draw their fault decisions from a
+separate per-link stream, so their interleaving with ordinary sends
+cannot perturb which data message the k-th drop lands on.  A rank's
+clock advances only at *logical* consumption: ``reliable_recv`` merges
+the stored arrival of the payload it delivers, ``reliable_send`` merges
+the arrival of the ack that releases it.  Per-channel mailbox order is
+FIFO, so those arrivals — and therefore the modelled makespan — are a
+pure function of the fault plan's seed, independent of thread
+scheduling.
+
+Stop-and-wait keeps each ``(sender, dest, tag)`` channel in-order, so
+higher layers (:class:`~repro.mpi.resilient.ResilientComm`) can multiplex
+entire collectives over one channel tag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from .comm import ANY_SOURCE, Comm
+from .errors import MessageTimeoutError
+from .tags import NAMESPACE_WIDTH, RELIABLE_BASE
+
+__all__ = ["RetryPolicy", "DEFAULT_POLICY", "reliable_send", "reliable_recv",
+           "service_pending"]
+
+_DATA = "d"
+_ACK = "a"
+
+#: fault-decision stream of acknowledgement messages (see FaultPlan.link_event)
+_ACK_STREAM = 1
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry schedule of :func:`reliable_send`.
+
+    Attempt ``k`` (0-based) waits ``base_timeout * backoff**k`` virtual
+    seconds for the ack before retransmitting; after ``max_attempts``
+    unacknowledged sends the operation fails with
+    :class:`MessageTimeoutError`.
+    """
+
+    max_attempts: int = 8
+    base_timeout: float = 1e-3
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_timeout <= 0.0:
+            raise ValueError("base_timeout must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1.0")
+
+    def timeout(self, attempt: int) -> float:
+        """Ack deadline (virtual seconds) for 0-based ``attempt``."""
+        return self.base_timeout * self.backoff**attempt
+
+
+DEFAULT_POLICY = RetryPolicy()
+
+
+def _process(comm: Comm, msg, tag: int) -> None:
+    """Process one received channel message (data or ack), clock-neutral.
+
+    Data is acknowledged *unconditionally* — with the causal arrival time
+    as the ack's departure — and, when new, buffered with that arrival for
+    :func:`reliable_recv`; acks advance the per-peer high-water mark that
+    :func:`reliable_send` polls.
+    """
+    state = comm._state
+    rank = comm.rank
+    wire = RELIABLE_BASE + tag
+    src = msg.src
+    arrival = comm._arrival(msg)
+    payload = msg.payload
+    key = (rank, src, tag)
+    if payload[0] == _ACK:
+        seq = payload[1]
+        cur = state.rel_acked.get(key)
+        if cur is None or seq > cur[0]:
+            state.rel_acked[key] = (seq, arrival)
+        return
+    _, seq, obj = payload
+    # Acks draw their fault decision from (comm, tag, seq, ack#) — an
+    # identity, not a link counter — so a teardown race over whether this
+    # very ack goes out cannot skew later decisions on the link (see
+    # FaultPlan.link_event).  The communicator id matters: per-channel
+    # state resets when recovery shrinks to a new communicator, and
+    # without it a retry epoch would replay the exact ack fates that
+    # doomed the previous one.
+    kkey = (rank, src, tag, seq)
+    k = state.rel_ackseq.get(kkey, 0)
+    state.rel_ackseq[kkey] = k + 1
+    comm.send((_ACK, seq), src, wire, _at=arrival, _stream=_ACK_STREAM,
+              _event=(state.trace_id, tag, seq, k))
+    if seq > state.rel_delivered.get(key, -1):
+        state.rel_delivered[key] = seq
+        state.rel_buf.setdefault(key, []).append((obj, arrival))
+    elif comm.tracer.enabled:
+        comm.tracer.instant("dedup", src=src, tag=tag, seq=seq)
+
+
+def _dispatch(
+    comm: Comm, tag: int, timeout: float | None, fail_source: int | None
+) -> None:
+    """Blocking-receive and process one channel message.
+
+    ``fail_source`` is the rank whose death should fail the wait (the
+    channel peer the caller is really blocked on).  Raises
+    :class:`MessageTimeoutError` when nothing arrives before the virtual
+    deadline.
+    """
+    wire = RELIABLE_BASE + tag
+    msg = comm._recv_message(ANY_SOURCE, wire, timeout=timeout,
+                             fail_source=fail_source,
+                             span_name="reliable_wait")
+    _process(comm, msg, tag)
+
+
+def service_pending(comm: Comm) -> int:
+    """Drain every reliable wire message already sitting in this rank's
+    mailbox and process it; returns how many were handled.
+
+    Non-blocking and clock-neutral.  Called by ft rendezvous waits
+    (``agree``/``shrink``) so a rank that has moved past its last channel
+    operation still acknowledges peers' retransmissions — without this, a
+    peer whose epoch-final ack was dropped could never complete.
+    """
+    state = comm._state
+    mb = state.mailboxes[comm.rank]
+    chk = comm._rt.checker
+    got = []
+    with mb.cond:
+        if state.aborted:
+            return 0
+        kept = []
+        for m in mb.messages:
+            if RELIABLE_BASE <= m.tag < RELIABLE_BASE + NAMESPACE_WIDTH:
+                got.append(m)
+            else:
+                kept.append(m)
+        if got:
+            mb.messages[:] = kept
+            if chk is not None:
+                for m in got:
+                    chk.note_consume(state, comm.rank, m.src, m.tag)
+    for m in got:
+        _process(comm, m, m.tag - RELIABLE_BASE)
+    return len(got)
+
+
+def reliable_send(
+    comm: Comm,
+    obj: Any,
+    dest: int,
+    tag: int = 0,
+    policy: RetryPolicy = DEFAULT_POLICY,
+) -> int:
+    """Send ``obj`` to ``dest`` surviving drops and duplications.
+
+    Blocks until the matching ack (the clock merges the ack's causal
+    arrival time, like a rendezvous send).  Returns the number of
+    transmission attempts used (1 = no retry).  Raises
+    :class:`MessageTimeoutError` when every attempt went unacknowledged,
+    and propagates :class:`RankFailedError` / :class:`CommRevokedError`
+    from the underlying waits.
+    """
+    state = comm._state
+    akey = (comm.rank, dest, tag)
+    seq = state.rel_seq.get(akey, 0)
+    state.rel_seq[akey] = seq + 1
+    wire = RELIABLE_BASE + tag
+    tracer = comm.tracer
+
+    def acked() -> tuple[int, float] | None:
+        cur = state.rel_acked.get(akey)
+        return cur if cur is not None and cur[0] >= seq else None
+
+    for attempt in range(policy.max_attempts):
+        t0 = comm.clock
+        comm.send((_DATA, seq, obj), dest, wire)
+        try:
+            while acked() is None:
+                _dispatch(comm, tag, policy.timeout(attempt), dest)
+            comm.clock = max(comm.clock, acked()[1])
+            return attempt + 1
+        except MessageTimeoutError:
+            if attempt + 1 >= policy.max_attempts:
+                raise MessageTimeoutError(
+                    f"reliable_send(dest={dest}, tag={tag}, seq={seq}) gave "
+                    f"up after {policy.max_attempts} attempts"
+                ) from None
+            if tracer.enabled:
+                tracer.record("retry", t0, cat="fault", dest=dest, tag=tag,
+                              seq=seq, attempt=attempt + 1)
+    raise AssertionError("unreachable")
+
+
+def reliable_recv(
+    comm: Comm,
+    source: int,
+    tag: int = 0,
+    *,
+    timeout: float | None = None,
+) -> Any:
+    """Receive the next in-order reliable message from ``source``.
+
+    ``source`` must be a concrete rank: ordering and deduplication state
+    is per channel.  ``timeout`` bounds each internal wait in virtual
+    seconds (:class:`MessageTimeoutError` on expiry).
+    """
+    if source < 0:
+        raise ValueError("reliable_recv requires a concrete source rank")
+    rt = comm._rt
+    if rt._faults is not None:
+        # Channel servicing (_dispatch) is not a crash checkpoint, so the
+        # op count a crash triggers on stays schedule-independent; check
+        # once per logical receive instead.
+        rt.maybe_crash(comm.world_rank)
+    state = comm._state
+    key = (comm.rank, source, tag)
+    tracer = comm.tracer
+    t0 = comm.clock
+    while True:
+        buf = state.rel_buf.get(key)
+        if buf:
+            obj, arrival = buf.pop(0)
+            comm.clock = max(comm.clock, arrival)
+            if tracer.enabled:
+                tracer.record("reliable_recv", t0, cat="p2p", src=source,
+                              tag=tag, idle=max(0.0, comm.clock - t0))
+            return obj
+        _dispatch(comm, tag, timeout, source)

@@ -24,10 +24,12 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from ..faults.plan import FaultPlan, FaultStats
 from ..machine import CostModel, MachineSpec, abstract_cluster, make_placement
 from ..trace.events import TraceRecorder
 from .comm import Comm, _CommState
-from .errors import Aborted, MessageLeakError, SPMDError
+from .errors import Aborted, DeadlockError, MessageLeakError, RankCrashed, SPMDError
+from .waitstate import WaitRegistry
 
 
 def _check_default() -> bool:
@@ -111,6 +113,12 @@ class Runtime:
         ``None`` (the default) reads the ``REPRO_CHECK`` environment
         variable.  Checking never changes the virtual clocks: a checked
         run is bit-identical to an unchecked one.
+    faults:
+        A :class:`~repro.faults.FaultPlan` to inject into the delivery
+        path (message drops/duplications/delays, degraded links, rank
+        crashes) — all decisions seeded and deterministic.  ``None`` (the
+        default) leaves the runtime bit-identical to one built without
+        the fault machinery: clocks, statistics, and traces are unchanged.
     """
 
     def __init__(
@@ -123,9 +131,14 @@ class Runtime:
         use_shm: bool = True,
         trace: bool = False,
         check: bool | None = None,
+        faults: FaultPlan | None = None,
     ):
         if size < 1:
             raise ValueError("size must be >= 1")
+        if faults is not None and faults.size != size:
+            raise ValueError(
+                f"fault plan was built for {faults.size} ranks, runtime has {size}"
+            )
         self.size = size
         if cost_model is None:
             if machine is None:
@@ -146,6 +159,17 @@ class Runtime:
         self._states: list[_CommState] = []
         self._registry_lock = threading.Lock()
         self._aborted = False
+        #: the fault adversary (None = pristine runtime; every fault hook
+        #: is guarded on this so the faultless path is bit-identical)
+        self._faults = faults
+        self.failed_ranks: set[int] = set()
+        self.fault_stats = FaultStats()
+        self._fault_lock = threading.Lock()
+        self._op_counts = [0] * size
+        self._fault_deadlock: str | None = None
+        #: always-on wait registry: blocked-rank introspection for run
+        #: timeouts, plus the virtual-time timeout / deadlock arbiter
+        self._registry = WaitRegistry(size)
         self.world_state = _CommState(self, range(size))
         if trace:
             self.trace = TraceRecorder(self)
@@ -181,6 +205,63 @@ class Runtime:
             raise IndexError(f"rank {rank} out of range")
         return Comm(self.world_state, rank)
 
+    # --------------------------------------------------------------- faults
+
+    def _count_fault(self, kind: str) -> None:
+        with self._fault_lock:
+            setattr(self.fault_stats, kind, getattr(self.fault_stats, kind) + 1)
+
+    def maybe_crash(self, world_rank: int) -> None:
+        """Crash checkpoint: called by the communication layer at the top
+        of every p2p/collective operation of ``world_rank`` (own thread
+        only).  Advances the rank's operation counter and executes a
+        scheduled :class:`~repro.faults.CrashEvent` when its trigger — an
+        op count or a virtual time, never wall clock — has been reached."""
+        plan = self._faults
+        if plan is None or not plan.has_crashes:
+            return
+        n = self._op_counts[world_rank]
+        self._op_counts[world_rank] = n + 1
+        if world_rank not in self.failed_ranks and plan.crash_now(
+            world_rank, n, float(self.clocks[world_rank])
+        ):
+            self._execute_crash(world_rank)
+
+    def _execute_crash(self, world_rank: int) -> None:
+        """Kill ``world_rank`` (called on its own thread): record the
+        failure, wake every operation it could be participating in, and
+        unwind the thread with :class:`RankCrashed`."""
+        with self._fault_lock:
+            self.failed_ranks.add(world_rank)
+            self.fault_stats.crashed.append(world_rank)
+        now = float(self.clocks[world_rank])
+        if self.trace is not None:
+            self.trace.record(world_rank, "crash", "fault", now, now,
+                              op=self._op_counts[world_rank])
+        with self._registry_lock:
+            states = list(self._states)
+        for state in states:
+            if world_rank in state._members_set:
+                # Peers blocked in a collective see a broken barrier and
+                # map it to RankFailedError; blocked receivers and ft
+                # waiters re-check the failed set after the notify.
+                state.barrier.abort()
+                for mb in state.mailboxes:
+                    with mb.cond:
+                        mb.cond.notify_all()
+                with state.ft_cond:
+                    state.ft_cond.notify_all()
+        self._registry.die(world_rank)
+        raise RankCrashed(f"rank {world_rank} crashed at virtual t={now:.6g}s")
+
+    def _deadlock_abort(self, description: str) -> None:
+        """Quiescence arbiter verdict: no rank can make progress and no
+        virtual deadline is pending — abort rather than hang (fault plans
+        can starve ranks, e.g. by dropping a message the program only
+        sends once)."""
+        self._fault_deadlock = description
+        self.abort()
+
     # ------------------------------------------------------------ execution
 
     def run(
@@ -206,6 +287,10 @@ class Runtime:
         checker = self.checker
         if checker is not None:
             checker.begin_run()
+        self._registry.begin(
+            faults_active=self._faults is not None,
+            on_deadlock=self._deadlock_abort,
+        )
 
         def worker(rank: int) -> None:
             comm = self.comm(rank)
@@ -214,6 +299,8 @@ class Runtime:
                 results[rank] = fn(comm, *args, *extra)
             except Aborted:
                 pass  # secondary casualty of another rank's failure
+            except RankCrashed:
+                pass  # fault-injected death: peers observe RankFailedError
             except BaseException as exc:  # noqa: BLE001 - must not hang peers
                 with failures_lock:
                     failures[rank] = exc
@@ -223,6 +310,7 @@ class Runtime:
                     # A finished rank will never send again: this transition
                     # can complete a deadlock, so the checker re-analyzes.
                     checker.finish(rank)
+                self._registry.finish(rank)
 
         old_stack = threading.stack_size()
         if self.size > 64:
@@ -240,18 +328,32 @@ class Runtime:
         for t in threads:
             t.join(timeout)
             if t.is_alive():
+                blocked = self._registry.describe_blocked()
                 self.abort()
                 t.join(5.0)
-                raise TimeoutError(f"SPMD run exceeded {timeout}s (thread {t.name})")
+                raise TimeoutError(
+                    f"SPMD run exceeded {timeout}s (thread {t.name}); "
+                    f"per-rank wait states at expiry:\n{blocked}"
+                )
         if failures:
             first = failures[min(failures)]
             raise SPMDError(failures) from first
+        if self._fault_deadlock is not None:
+            raise DeadlockError(
+                "no rank can make progress under the fault plan:\n"
+                + self._fault_deadlock
+            )
         self._finalize_check()
         return results
 
     def _finalize_check(self) -> None:
         """Post-run accounting: orphaned messages always warn; under
         ``check=True`` they (and never-completed requests) raise."""
+        if self._faults is not None:
+            # Dropped/duplicated messages and crashed receivers leave
+            # mailbox residue by design; leak accounting is meaningless
+            # under an adversary.
+            return
         leaks = self.leaked_messages()
         if leaks:
             listing = ", ".join(
@@ -301,11 +403,18 @@ class Runtime:
         return float(self.clocks.max())
 
     def reset(self) -> None:
-        """Zero clocks, statistics, and any recorded trace (keeps communicators)."""
+        """Zero clocks, statistics, fault bookkeeping, any recorded trace,
+        and the attached checker's shadow state (keeps communicators)."""
         self.clocks[:] = 0.0
         self.stats = Stats(self.size)
         if self.trace is not None:
             self.trace = TraceRecorder(self)
+        self.failed_ranks.clear()
+        self.fault_stats = FaultStats()
+        self._op_counts = [0] * self.size
+        self._fault_deadlock = None
+        if self.checker is not None:
+            self.checker.reset()
 
 
 def run_spmd(
@@ -318,6 +427,7 @@ def run_spmd(
     use_shm: bool = True,
     trace: bool = False,
     check: bool | None = None,
+    faults: FaultPlan | None = None,
     per_rank_args: Sequence[Sequence[Any]] | None = None,
     timeout: float | None = None,
     return_runtime: bool = False,
@@ -344,6 +454,7 @@ def run_spmd(
         use_shm=use_shm,
         trace=trace,
         check=check,
+        faults=faults,
     )
     results = rt.run(fn, args=args, per_rank_args=per_rank_args, timeout=timeout)
     if return_runtime:

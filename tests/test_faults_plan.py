@@ -1,0 +1,121 @@
+"""Unit tests for the deterministic fault-plan machinery."""
+
+import pytest
+
+from repro.faults import CrashEvent, FaultPlan, FaultSpec, FaultStats
+
+
+class TestSpecValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError):
+            FaultSpec(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(dup_rate=-0.1)
+
+    def test_crash_event_needs_a_trigger(self):
+        with pytest.raises(ValueError):
+            CrashEvent(rank=0)
+
+    def test_crash_rank_bounds(self):
+        spec = FaultSpec(crashes=(CrashEvent(rank=9, at_op=1),))
+        with pytest.raises(ValueError):
+            FaultPlan(spec, seed=1, size=4)
+
+    def test_at_least_one_survivor(self):
+        with pytest.raises(ValueError):
+            FaultPlan(FaultSpec(crash_ranks=4), seed=1, size=4)
+
+
+class TestDeterminism:
+    def test_same_seed_same_link_decisions(self):
+        spec = FaultSpec(drop_rate=0.3, dup_rate=0.2, delay_rate=0.2)
+        a = FaultPlan(spec, seed=7, size=4)
+        b = FaultPlan(spec, seed=7, size=4)
+        seq_a = [a.link_event(0, 1) for _ in range(200)]
+        seq_b = [b.link_event(0, 1) for _ in range(200)]
+        assert seq_a == seq_b
+        assert any(f.drop for f in seq_a)
+        assert any(f.duplicate for f in seq_a)
+        assert any(f.delay_factor for f in seq_a)
+
+    def test_different_seeds_differ(self):
+        spec = FaultSpec(drop_rate=0.3)
+        a = FaultPlan(spec, seed=7, size=4)
+        b = FaultPlan(spec, seed=8, size=4)
+        assert [f.drop for f in (a.link_event(0, 1) for _ in range(200))] != \
+               [f.drop for f in (b.link_event(0, 1) for _ in range(200))]
+
+    def test_links_and_streams_are_independent(self):
+        spec = FaultSpec(drop_rate=0.5)
+        plan = FaultPlan(spec, seed=3, size=4)
+        # interleave two links and a second stream arbitrarily ...
+        mixed = {}
+        for i in range(100):
+            mixed.setdefault((0, 1, 0), []).append(plan.link_event(0, 1))
+            if i % 2:
+                mixed.setdefault((1, 0, 0), []).append(plan.link_event(1, 0))
+            if i % 3 == 0:
+                mixed.setdefault((0, 1, 1), []).append(plan.link_event(0, 1, 1))
+        # ... and each must match a pristine replay of that link alone
+        for (src, dst, stream), got in mixed.items():
+            fresh = FaultPlan(spec, seed=3, size=4)
+            assert got == [fresh.link_event(src, dst, stream)
+                           for _ in range(len(got))]
+
+    def test_event_identity_bypasses_counter(self):
+        spec = FaultSpec(drop_rate=0.5)
+        plan = FaultPlan(spec, seed=5, size=4)
+        before = plan.link_event(0, 1, 1, event=(2, 7, 0))
+        # counter-based traffic in between must not change the decision
+        for _ in range(50):
+            plan.link_event(0, 1)
+        assert plan.link_event(0, 1, 1, event=(2, 7, 0)) == before
+        assert plan.link_event(0, 1, 1, event=(2, 7, 1)) != before or \
+            plan.link_event(0, 1, 1, event=(3, 7, 0)) != before
+
+    def test_crash_placement_is_deterministic(self):
+        spec = FaultSpec(crash_ranks=2, crash_op_range=(5, 50))
+        a = FaultPlan(spec, seed=9, size=8)
+        b = FaultPlan(spec, seed=9, size=8)
+        assert a.crashes == b.crashes
+        assert len(a.crashes) == 2
+        for ev in a.crashes.values():
+            assert 5 <= ev.at_op <= 50
+
+    def test_degrade_windows_inside_horizon(self):
+        spec = FaultSpec(degrade_links=3, degrade_duration=1e-3, horizon=10e-3)
+        plan = FaultPlan(spec, seed=2, size=4)
+        assert len(plan.windows) == 3
+        for w in plan.windows:
+            assert 0.0 <= w.t0 <= w.t1 <= 10e-3
+            assert w.src != w.dst
+            mid = (w.t0 + w.t1) / 2
+            assert plan.degrade_factor(w.src, w.dst, mid) >= w.factor
+            assert plan.degrade_factor(w.src, w.dst, w.t1 + 1.0) == 0.0
+
+
+class TestCrashNow:
+    def test_op_trigger(self):
+        plan = FaultPlan(FaultSpec(crashes=(CrashEvent(rank=1, at_op=3),)),
+                         seed=1, size=2)
+        assert not plan.crash_now(1, 2, 0.0)
+        assert plan.crash_now(1, 3, 0.0)
+        assert not plan.crash_now(0, 99, 0.0)
+
+    def test_time_trigger(self):
+        plan = FaultPlan(FaultSpec(crashes=(CrashEvent(rank=0, at_time=1.0),)),
+                         seed=1, size=2)
+        assert not plan.crash_now(0, 0, 0.5)
+        assert plan.crash_now(0, 0, 1.0)
+
+
+def test_stats_summary():
+    st = FaultStats(dropped=3, duplicated=1, delayed=2, crashed=[2, 0])
+    assert "dropped=3" in st.summary()
+    assert "crashed=[0, 2]" in st.summary()
+
+
+def test_describe_mentions_everything():
+    spec = FaultSpec(drop_rate=0.1, degrade_links=1, crash_ranks=1)
+    text = FaultPlan(spec, seed=4, size=4).describe()
+    assert "drop=0.1" in text and "degraded=" in text and "crashes=" in text

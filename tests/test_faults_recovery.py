@@ -1,0 +1,193 @@
+"""MPI-layer fault machinery: timeouts, the reliable channel, ULFM ops.
+
+Covers the building blocks :func:`repro.core.resilient.resilient_sort`
+stands on — virtual-time receive deadlines, the stop-and-wait ARQ layer
+healing drops/duplicates, and the ``revoke``/``agree``/``shrink``
+recovery triple — each in isolation, under a deterministic
+:class:`FaultPlan`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import CrashEvent, FaultPlan, FaultSpec
+from repro.mpi import (
+    CommRevokedError,
+    MessageTimeoutError,
+    RankFailedError,
+    RetryPolicy,
+    SPMDError,
+    reliable_recv,
+    reliable_send,
+)
+from tests.conftest import spmd
+
+WALL = 60.0
+
+
+# ------------------------------------------------------------- p2p deadlines
+
+
+def test_recv_timeout_raises_at_virtual_deadline():
+    def prog(comm):
+        if comm.rank == 1:
+            t0 = comm.clock
+            with pytest.raises(MessageTimeoutError):
+                comm.recv(source=0, timeout=5e-3)
+            # the wait is priced: the clock advanced exactly to the deadline
+            return comm.clock - t0
+        return None  # rank 0 never sends
+
+    # a timeout only fires under an active fault plan (quiescence arbiter)
+    plan = FaultPlan(FaultSpec(), seed=1, size=2)
+    waited = spmd(2, prog, faults=plan, timeout=WALL)[1]
+    assert waited == pytest.approx(5e-3)
+
+
+def test_recv_timeout_loses_to_arriving_message():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send("payload", 1)
+        else:
+            return comm.recv(source=0, timeout=1.0)
+        return None
+
+    plan = FaultPlan(FaultSpec(), seed=1, size=2)
+    assert spmd(2, prog, faults=plan, timeout=WALL)[1] == "payload"
+
+
+# ---------------------------------------------------------- reliable channel
+
+
+def test_reliable_roundtrip_under_heavy_drops():
+    def prog(comm, n):
+        peer = 1 - comm.rank
+        got = []
+        for i in range(n):
+            if comm.rank == 0:
+                reliable_send(comm, ("msg", i), peer, tag=7)
+            else:
+                got.append(reliable_recv(comm, peer, tag=7))
+        return got
+
+    plan = FaultPlan(FaultSpec(drop_rate=0.3, dup_rate=0.2), seed=11, size=2)
+    results = spmd(2, prog, 20, faults=plan, timeout=WALL)
+    # in order, exactly once, despite drops of data/acks and duplicates
+    assert results[1] == [("msg", i) for i in range(20)]
+
+
+def test_reliable_send_gives_up_with_typed_error():
+    def prog(comm):
+        if comm.rank == 0:
+            policy = RetryPolicy(max_attempts=2, base_timeout=1e-4)
+            reliable_send(comm, "x", 1, tag=3, policy=policy)
+        else:
+            comm.recv(source=0, tag=99, timeout=50.0)  # never services tag 3
+        return None
+
+    plan = FaultPlan(FaultSpec(drop_rate=1.0), seed=2, size=2)
+    with pytest.raises(SPMDError) as excinfo:
+        spmd(2, prog, faults=plan, timeout=WALL)
+    assert isinstance(excinfo.value.failures[0], MessageTimeoutError)
+    assert "gave up after 2 attempts" in str(excinfo.value.failures[0])
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_timeout=0.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff=0.5)
+    assert RetryPolicy(base_timeout=1e-3, backoff=2.0).timeout(3) == 8e-3
+
+
+# ------------------------------------------------------- revoke/agree/shrink
+
+
+def test_agree_is_a_fault_tolerant_and():
+    def prog(comm):
+        mine = comm.rank != 2
+        return comm.agree(mine)
+
+    plan = FaultPlan(FaultSpec(), seed=1, size=4)
+    assert spmd(4, prog, faults=plan, timeout=WALL) == [False] * 4
+
+    def prog_all_true(comm):
+        return comm.agree(True)
+
+    plan = FaultPlan(FaultSpec(), seed=1, size=4)
+    assert spmd(4, prog_all_true, faults=plan, timeout=WALL) == [True] * 4
+
+
+def test_revoke_hoists_blocked_receiver():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.revoke()
+            return comm.agree(True)
+        try:
+            comm.recv(source=0, tag=5)  # rank 0 will never send
+        except CommRevokedError:
+            return comm.agree(True)
+        return "not hoisted"
+
+    plan = FaultPlan(FaultSpec(), seed=1, size=3)
+    assert spmd(3, prog, faults=plan, timeout=WALL) == [True] * 3
+
+
+def test_shrink_after_injected_crash():
+    def prog(comm):
+        # rank 2 is killed by the plan at its first operation below
+        try:
+            if comm.rank == 0:
+                comm.recv(source=2, timeout=10e-3)
+            else:
+                comm.send(b"x" * 64, 0)
+                comm.recv(source=0, timeout=10e-3)
+        except (RankFailedError, MessageTimeoutError, CommRevokedError):
+            comm.revoke()
+        if not comm.agree(False):
+            comm = comm.shrink()
+        return (comm.size, tuple(comm.world_ranks))
+
+    plan = FaultPlan(
+        FaultSpec(crashes=(CrashEvent(rank=2, at_op=1),)), seed=3, size=4
+    )
+    results = spmd(4, prog, faults=plan, timeout=WALL)
+    live = [r for r in results if r is not None]
+    assert len(live) == 3
+    assert all(r == (3, (0, 1, 3)) for r in live)
+
+
+def test_ft_waits_service_the_reliable_channel():
+    # Two-generals corner: rank 1's ack for rank 0's *last* message is
+    # dropped, and rank 1 immediately enters `agree`.  The rendezvous wait
+    # must keep acknowledging retransmissions or rank 0 can never finish.
+    def prog(comm):
+        if comm.rank == 0:
+            attempts = reliable_send(comm, "final", 1, tag=9)
+            ok = comm.agree(True)
+            return (attempts, ok)
+        obj = reliable_recv(comm, 0, tag=9)
+        ok = comm.agree(True)
+        return (obj, ok)
+
+    # drop every ack-stream event once: seq 0's first ack dies, the
+    # retransmission's ack must get through via the ft drain
+    class _OneAckDrop(FaultPlan):
+        def __init__(self):
+            super().__init__(FaultSpec(), seed=1, size=2)
+            self._killed = False
+
+        def link_event(self, src, dst, stream=0, event=None):
+            ev = super().link_event(src, dst, stream, event)
+            if stream == 1 and not self._killed:
+                self._killed = True
+                return type(ev)(drop=True, duplicate=ev.duplicate,
+                                delay_factor=ev.delay_factor)
+            return ev
+
+    results = spmd(2, prog, faults=_OneAckDrop(), timeout=WALL)
+    assert results[0] == (2, True)  # one retransmission, then agreement
+    assert results[1] == ("final", True)

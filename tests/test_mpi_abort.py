@@ -1,0 +1,101 @@
+"""Abort semantics: a rank dying mid-operation must unwind its peers.
+
+When any rank raises, the runtime aborts: every peer blocked in a p2p or
+collective wait is hoisted out with :class:`Aborted` (the in-process
+analogue of ``MPI_Abort``) and the driver raises :class:`SPMDError`
+carrying only the *real* failure.  These tests pin that contract for the
+three wait flavours — an ``alltoallv`` (payload collective), a
+``barrier`` (pure rendezvous), and a blocking ``recv`` — with a wall
+timeout so a regression shows up as a failure, not a hung test run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi import SPMDError
+from tests.conftest import spmd
+
+WALL = 60.0  # generous wall-clock backstop: failure mode is a hang
+
+
+class Boom(RuntimeError):
+    pass
+
+
+def _assert_only_rank_failed(excinfo, rank: int):
+    err = excinfo.value
+    assert isinstance(err, SPMDError)
+    assert set(err.failures) == {rank}
+    assert isinstance(err.failures[rank], Boom)
+
+
+def test_peer_death_unblocks_alltoallv():
+    def prog(comm):
+        if comm.rank == 1:
+            raise Boom("rank 1 dies before the exchange")
+        chunks = [np.full(4, comm.rank, dtype=np.int64)
+                  for _ in range(comm.size)]
+        comm.alltoallv(chunks)
+        return "unreachable"
+
+    with pytest.raises(SPMDError) as excinfo:
+        spmd(4, prog, timeout=WALL)
+    _assert_only_rank_failed(excinfo, 1)
+
+
+def test_peer_death_unblocks_barrier():
+    def prog(comm):
+        if comm.rank == 2:
+            raise Boom("rank 2 dies before the barrier")
+        comm.barrier()
+        return "unreachable"
+
+    with pytest.raises(SPMDError) as excinfo:
+        spmd(4, prog, timeout=WALL)
+    _assert_only_rank_failed(excinfo, 2)
+
+
+def test_peer_death_unblocks_recv():
+    def prog(comm):
+        if comm.rank == 0:
+            raise Boom("rank 0 dies instead of sending")
+        if comm.rank == 1:
+            comm.recv(source=0)  # would block forever without the abort
+        return "unreachable"
+
+    with pytest.raises(SPMDError) as excinfo:
+        spmd(2, prog, timeout=WALL)
+    _assert_only_rank_failed(excinfo, 0)
+
+
+def test_death_mid_collective_sequence():
+    # The failing rank has already completed one collective; peers are one
+    # operation ahead when it dies, so the abort must reach ranks blocked
+    # in a *later* collective than the one the victim last joined.
+    def prog(comm):
+        comm.barrier()
+        if comm.rank == 3:
+            raise Boom("rank 3 dies between collectives")
+        comm.allreduce(comm.rank)
+        comm.barrier()
+        return "unreachable"
+
+    with pytest.raises(SPMDError) as excinfo:
+        spmd(4, prog, timeout=WALL)
+    _assert_only_rank_failed(excinfo, 3)
+
+
+def test_surviving_ranks_do_not_report_phantom_failures():
+    # Aborted peers are secondary casualties: the error must name rank 0
+    # only, and its per-rank summary must point at the real exception.
+    def prog(comm):
+        if comm.rank == 0:
+            raise Boom("primary failure")
+        comm.recv(source=0)
+
+    with pytest.raises(SPMDError) as excinfo:
+        spmd(3, prog, timeout=WALL)
+    _assert_only_rank_failed(excinfo, 0)
+    assert "rank 0: Boom: primary failure" in str(excinfo.value)

@@ -1,0 +1,128 @@
+"""End-to-end fault-tolerant histogram sort (``SortConfig(resilient=True)``).
+
+The contract under a deterministic :class:`FaultPlan`: a verified sort of
+the *surviving* ranks' data, or a typed error — and for a fixed seed, a
+bit-identical virtual-time schedule on every replay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import SortConfig
+from repro.core.histsort import histogram_sort
+from repro.faults import CrashEvent, FaultPlan, FaultSpec
+from repro.faults.chaos import ChaosCase, run_case, sweep
+from repro.mpi import Runtime
+
+WALL = 120.0
+
+
+def _sorter(comm, n, seed=77):
+    rng = np.random.default_rng(seed + comm.rank)
+    data = rng.integers(0, 1 << 62, n, dtype=np.int64)
+    res = histogram_sort(comm, data, SortConfig(resilient=True))
+    out = res.output
+    assert np.all(out[:-1] <= out[1:])
+    return (int(out.size), res.attempts, res.survivors, res.failed)
+
+
+def _run(p, plan, n=64, check=False):
+    rt = Runtime(p, faults=plan, check=check)
+    results = rt.run(_sorter, args=(n,), timeout=WALL)
+    return rt, [r for r in results if r is not None]
+
+
+def test_faultless_run_is_single_attempt():
+    rt, live = _run(4, None)
+    assert len(live) == 4
+    assert all(r[1] == 1 and r[2] == (0, 1, 2, 3) and r[3] == () for r in live)
+    assert sum(r[0] for r in live) == 4 * 64
+
+
+def test_drops_are_healed_without_recovery_epochs():
+    plan = FaultPlan(FaultSpec(drop_rate=0.15, dup_rate=0.1), seed=5, size=4)
+    rt, live = _run(4, plan)
+    assert len(live) == 4
+    assert all(r[1] == 1 for r in live)  # retransmission, not shrink/retry
+    assert sum(r[0] for r in live) == 4 * 64
+    assert rt.fault_stats.dropped > 0
+
+
+def test_crash_recovery_completes_on_survivors():
+    plan = FaultPlan(
+        FaultSpec(drop_rate=0.05, crashes=(CrashEvent(rank=1, at_op=40),)),
+        seed=9, size=4,
+    )
+    rt, live = _run(4, plan)
+    assert rt.fault_stats.crashed == [1]
+    assert len(live) == 3
+    assert all(r[2] == (0, 2, 3) and r[3] == (1,) for r in live)
+    # conservation over survivors: the dead rank's elements are gone, all
+    # surviving input elements are accounted for exactly once
+    assert sum(r[0] for r in live) == 3 * 64
+    assert all(r[1] >= 2 for r in live)  # at least one recovery epoch
+
+
+def test_same_seed_is_bit_identical():
+    def once():
+        plan = FaultPlan(
+            FaultSpec(drop_rate=0.2, dup_rate=0.1, delay_rate=0.1,
+                      crash_ranks=1, crash_op_range=(10, 80)),
+            seed=13, size=4,
+        )
+        rt, live = _run(4, plan)
+        return (rt.elapsed(), np.array(rt.clocks),
+                rt.fault_stats.summary(), live)
+
+    t_a, clocks_a, stats_a, live_a = once()
+    t_b, clocks_b, stats_b, live_b = once()
+    assert t_a == t_b  # exact float equality, not approx
+    assert np.array_equal(clocks_a, clocks_b)
+    assert stats_a == stats_b
+    assert live_a == live_b
+
+
+def test_inert_plan_matches_plain_run_bit_for_bit():
+    def clocks(**kw):
+        rt = Runtime(4, **kw)
+        rt.run(_sorter, args=(64,), timeout=WALL)
+        return np.array(rt.clocks)
+
+    assert np.array_equal(clocks(), clocks(faults=None, check=True))
+
+
+def test_checker_stays_quiet_under_faults():
+    plan = lambda: FaultPlan(  # noqa: E731 - fresh plan per run
+        FaultSpec(drop_rate=0.2, dup_rate=0.1, crash_ranks=1,
+                  crash_op_range=(10, 80)),
+        seed=21, size=4,
+    )
+    rt_plain, live_plain = _run(4, plan(), check=False)
+    rt_check, live_check = _run(4, plan(), check=True)
+    # no false leak/deadlock reports, and checking must not perturb the
+    # virtual schedule
+    assert rt_plain.elapsed() == rt_check.elapsed()
+    assert live_plain == live_check
+
+
+def test_mini_chaos_sweep_contract():
+    cases = [
+        ChaosCase(seed=s, size=4, drop_rate=d, crash_ranks=1,
+                  n_per_rank=48, check=check)
+        for s in (1, 2, 3)
+        for d in (0.05, 0.2)
+        for check in (False, True)
+    ]
+    outcomes = sweep(cases, wall_timeout=WALL, determinism=True,
+                     verbose=False)
+    bad = [o for o in outcomes if not o.ok]
+    assert not bad, [f"{o.case}: {o.kind} ({o.detail})" for o in bad]
+
+
+def test_run_case_classifies_success():
+    out = run_case(ChaosCase(seed=4, size=4, drop_rate=0.1, crash_ranks=0,
+                             n_per_rank=32, check=False),
+                   wall_timeout=WALL)
+    assert out.ok and out.kind == "sorted"
+    assert out.makespan > 0.0
