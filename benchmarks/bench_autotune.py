@@ -1,0 +1,92 @@
+"""Auto-tuning study — tuned plans vs the paper-default configuration.
+
+The paper evaluates one fixed configuration (re-sort merge, min-max initial
+splitter guesses, no exchange/merge overlap).  ``repro.tune`` searches that
+knob space per workload fingerprint; this benchmark sweeps distinct
+(workload, machine) fingerprints and records the virtual-clock makespan of
+the paper default against the auto-tuned plan.
+
+On every swept fingerprint the tuned plan must be no worse than the
+default — the planner always dry-runs the paper default as its control, so
+at worst it returns it.
+"""
+
+import os
+
+import pytest
+
+from repro.bench import Series
+from repro.bench.harness import run_sort_trial
+from repro.machine import abstract_cluster, supermuc_phase2
+from repro.tune import PlanCache, dry_run_count
+
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "1"))
+N_PER_RANK = 2000 * SCALE
+
+#: (name, machine factory, p, ranks_per_node, distribution)
+FINGERPRINTS = [
+    ("abstract2n-zipf", lambda: abstract_cluster(2, cores_per_node=8), 8, 8, "zipf_u64"),
+    ("supermuc4n-uniform", lambda: supermuc_phase2(nodes=4), 16, 4, "uniform_u64"),
+    ("abstract4n-exponential", lambda: abstract_cluster(4, cores_per_node=4), 16, 4,
+     "exponential_f64"),
+]
+
+
+def test_autotune_vs_default(emit):
+    series = Series(
+        "autotune",
+        "auto-tuned plan vs paper-default configuration (virtual seconds)",
+        ["fingerprint", "default_s", "tuned_s", "speedup", "plan"],
+        params={"n_per_rank": N_PER_RANK},
+        notes="speedup = default/tuned; the planner keeps the paper default "
+        "as its dry-run control, so tuned should never lose on the "
+        "fingerprints it was able to measure at dry-run scale.",
+    )
+    for name, factory, p, rpn, dist in FINGERPRINTS:
+        machine = factory()
+        default = run_sort_trial(
+            p, N_PER_RANK, algo="dash", dist=dist, machine=machine, ranks_per_node=rpn
+        )
+        tuned = run_sort_trial(
+            p, N_PER_RANK, dist=dist, machine=machine, ranks_per_node=rpn, plan="auto"
+        )
+        series.add(
+            fingerprint=name,
+            default_s=default.total,
+            tuned_s=tuned.total,
+            speedup=default.total / tuned.total,
+            plan=tuned.extra["plan_algo"] + ":" + tuned.extra["plan_id"],
+        )
+    emit(series)
+    rows = {r["fingerprint"]: r for r in series.rows}
+    # the two acceptance fingerprints: tuned is never worse than default
+    for name in ("abstract2n-zipf", "supermuc4n-uniform"):
+        assert rows[name]["tuned_s"] <= rows[name]["default_s"], rows[name]
+
+
+def test_warm_cache_amortizes_planning(tmp_path):
+    machine = abstract_cluster(2, cores_per_node=8)
+    cache = PlanCache(tmp_path / "plans.json")
+    kwargs = dict(dist="zipf_u64", machine=machine, ranks_per_node=8,
+                  plan="auto", plan_cache=cache)
+    before = dry_run_count()
+    cold = run_sort_trial(8, N_PER_RANK, **kwargs)
+    assert dry_run_count() > before  # planning happened
+    before = dry_run_count()
+    warm = run_sort_trial(8, N_PER_RANK, **kwargs)
+    assert dry_run_count() == before  # and is fully amortized
+    assert warm.extra["plan_cache_hit"] and not cold.extra["plan_cache_hit"]
+    assert warm.extra["plan_id"] == cold.extra["plan_id"]
+
+
+@pytest.mark.parametrize("name,factory,p,rpn,dist", FINGERPRINTS[:1])
+def test_autotune_kernel(benchmark, name, factory, p, rpn, dist):
+    machine = factory()
+
+    def once():
+        return run_sort_trial(
+            p, 1000, dist=dist, machine=machine, ranks_per_node=rpn, plan="auto"
+        ).total
+
+    total = benchmark(once)
+    assert total > 0

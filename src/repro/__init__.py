@@ -11,6 +11,8 @@ Public surface:
 * :mod:`repro.smp` — shared-memory node simulator (TBB/OpenMP merge sorts).
 * :mod:`repro.data` — workload generators.
 * :mod:`repro.bench` — experiment harness regenerating every paper figure.
+* :mod:`repro.tune` — cost-model-driven auto-tuning and the plan cache
+  behind :func:`repro.autosort`.
 """
 
 from __future__ import annotations
@@ -22,12 +24,14 @@ from . import machine, mpi  # noqa: E402  (re-exported subsystems)
 __all__ = ["machine", "mpi", "__version__"]
 
 
-_LAZY_SUBMODULES = {"core", "seq", "baselines", "smp", "data", "model", "trace", "bench"}
+_LAZY_SUBMODULES = {"core", "seq", "baselines", "smp", "data", "model", "trace", "bench", "tune"}
 _LAZY_API = {
     "sort",
     "sorted_result",
     "nth_element",
     "find_splitters",
+    "autosort",
+    "AutoSortResult",
     "SortConfig",
     "SplitterConfig",
     "SortResult",

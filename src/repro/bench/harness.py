@@ -17,13 +17,27 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from ..baselines import hss_sort, psrs_sort, sample_sort
-from ..core import SortConfig, histogram_sort
+from ..core import SortConfig, autosort, histogram_sort
 from ..data import make_partition
 from ..machine import MachineSpec
 from ..mpi import run_spmd
 from ..trace.timer import combine_phases
 
 __all__ = ["TrialResult", "RepeatStats", "median_ci", "run_sort_trial", "repeat_sort_trials"]
+
+
+def _result_record(inner) -> dict[str, Any]:
+    """Per-rank trial record: phases, histogramming rounds, bytes moved.
+
+    ``rounds`` always rides along (1 for single-round algorithms), so
+    harness output can feed :func:`repro.model.calibrate.fit_round_count`
+    directly.
+    """
+    return {
+        "phases": inner.phases,
+        "rounds": int(getattr(inner, "rounds", 1)),
+        "exchanged": int(getattr(inner, "exchanged_bytes", inner.output.nbytes)),
+    }
 
 
 @dataclass(frozen=True)
@@ -73,11 +87,7 @@ def _dash(comm, local, config):
     # A resilient config returns a ResilientSortResult wrapping the
     # successful epoch's SortResult.
     inner = getattr(res, "result", res)
-    out = {
-        "phases": inner.phases,
-        "rounds": inner.rounds,
-        "exchanged": inner.exchanged_bytes,
-    }
+    out = _result_record(inner)
     if inner is not res:
         out["attempts"] = res.attempts
         out["survivors"] = res.survivors
@@ -86,30 +96,37 @@ def _dash(comm, local, config):
 
 def _hss(comm, local, config):
     res = hss_sort(comm, local, eps=config.eps if config else 0.0)
-    diag = res.info["diagnostics"]
-    return {
-        "phases": res.phases,
-        "rounds": diag.rounds,
-        "exchanged": int(res.output.nbytes),
-    }
+    out = _result_record(res)
+    out["rounds"] = int(res.info["diagnostics"].rounds)
+    return out
 
 
 def _samplesort(comm, local, config):
-    res = sample_sort(comm, local)
-    return {"phases": res.phases, "rounds": 1, "exchanged": int(res.output.nbytes)}
+    return _result_record(sample_sort(comm, local))
 
 
 def _psrs(comm, local, config):
-    res = psrs_sort(comm, local)
-    return {"phases": res.phases, "rounds": 1, "exchanged": int(res.output.nbytes)}
+    return _result_record(psrs_sort(comm, local))
 
 
 _ALGOS.update(dash=_dash, hss=_hss, sample_sort=_samplesort, psrs=_psrs)
 
 
-def _trial_program(comm, algo: str, dist: str, n_per_rank: int, seed: int, config):
+def _trial_program(comm, algo: str, dist: str, n_per_rank: int, seed: int, config,
+                   plan, plan_cache, plan_seed: int):
     local = make_partition(dist, n_per_rank, rank=comm.rank, seed=seed)
-    return _ALGOS[algo](comm, local, config)
+    if plan is None:
+        return _ALGOS[algo](comm, local, config)
+    # plan="auto" bypasses the algo registry and runs the full autosort
+    # lifecycle: fingerprint, cache lookup, planning on miss, feedback.
+    eps = config.eps if config is not None else 0.0
+    auto = autosort(comm, local, eps=eps, cache=plan_cache, seed=plan_seed)
+    inner = getattr(auto.result, "result", auto.result)
+    out = _result_record(inner)
+    out["plan_id"] = auto.plan.plan_id
+    out["plan_algo"] = auto.plan.algo
+    out["cache_hit"] = auto.cache_hit
+    return out
 
 
 def run_sort_trial(
@@ -126,6 +143,9 @@ def run_sort_trial(
     trace_path: str | Path | None = None,
     check: bool | None = None,
     faults=None,
+    plan: str | None = None,
+    plan_cache=None,
+    plan_seed: int = 0,
 ) -> TrialResult:
     """Execute one distributed sort and collect virtual-time statistics.
 
@@ -140,8 +160,17 @@ def run_sort_trial(
     resilient ``config`` so the sort can heal); ranks the plan crashes
     contribute no statistics, and the injected-event tally lands in
     ``extra["faults"]``.
+
+    ``plan="auto"`` ignores ``algo`` and runs :func:`repro.core.autosort`
+    instead — benchmarks can measure tuned against paper-default
+    configurations.  Pass a :class:`repro.tune.PlanCache` as ``plan_cache``
+    to persist plans across trials (a warm cache skips planning entirely);
+    ``plan_seed`` seeds the planner.  The chosen ``plan_id``/``plan_algo``
+    and cache-hit flag land in ``extra``.
     """
-    if algo not in _ALGOS:
+    if plan not in (None, "auto"):
+        raise ValueError(f"plan must be None or 'auto', got {plan!r}")
+    if plan is None and algo not in _ALGOS:
         raise KeyError(f"unknown algo {algo!r}; available: {sorted(_ALGOS)}")
     results, rt = run_spmd(
         p,
@@ -151,6 +180,9 @@ def run_sort_trial(
         n_per_rank,
         seed,
         config,
+        plan,
+        plan_cache,
+        plan_seed,
         machine=machine,
         ranks_per_node=ranks_per_node,
         use_shm=use_shm,
@@ -168,6 +200,10 @@ def run_sort_trial(
     extra: dict[str, Any] = {"bytes_sent": int(rt.stats.bytes_sent.sum())}
     if faults is not None:
         extra["faults"] = rt.fault_stats.summary()
+    if plan is not None and results:
+        extra["plan_id"] = results[0]["plan_id"]
+        extra["plan_algo"] = results[0]["plan_algo"]
+        extra["plan_cache_hit"] = bool(results[0]["cache_hit"])
     return TrialResult(
         total=rt.elapsed(),
         phases=phases,

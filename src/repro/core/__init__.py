@@ -1,6 +1,6 @@
 """The paper's contribution: distributed histogram sort and its pieces."""
 
-from .api import find_splitters, nth_element, sort, sorted_result
+from .api import AutoSortResult, autosort, find_splitters, nth_element, sort, sorted_result
 from .config import SortConfig, SplitterConfig
 from .dselect import DSelectResult, dselect
 from .exchange import ExchangePlan, build_exchange_plan, exchange
@@ -11,6 +11,7 @@ from .multiselect import SplitterConvergenceError, SplitterResult
 from .overlap import OverlapResult, exchange_merge_overlap, one_factor_partner
 
 __all__ = [
+    "AutoSortResult",
     "DSelectResult",
     "ExchangePlan",
     "PHASES",
@@ -22,6 +23,7 @@ __all__ = [
     "SplitterConvergenceError",
     "SplitterResult",
     "OverlapResult",
+    "autosort",
     "build_exchange_plan",
     "exchange_merge_overlap",
     "one_factor_partner",

@@ -7,7 +7,8 @@ communicator must call with its local partition.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
@@ -19,8 +20,12 @@ from .multiselect import find_splitters as _find_splitters
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..mpi import Comm
+    from ..tune.cache import PlanCache
+    from ..tune.feedback import FeedbackRecord
+    from ..tune.fingerprint import WorkloadFingerprint
+    from ..tune.planner import SortPlan
 
-__all__ = ["sort", "sorted_result", "nth_element", "find_splitters"]
+__all__ = ["AutoSortResult", "autosort", "sort", "sorted_result", "nth_element", "find_splitters"]
 
 
 def sort(
@@ -61,6 +66,105 @@ def sorted_result(
 ) -> SortResult:
     """Like :func:`sort` but returns the full :class:`SortResult` diagnostics."""
     return histogram_sort(comm, local, config=config, capacities=capacities)
+
+
+@dataclass(frozen=True)
+class AutoSortResult:
+    """One tuned sort: the output plus the tuning decision that shaped it.
+
+    ``result`` is a :class:`SortResult` for the core algorithm or a
+    :class:`~repro.baselines.BaselineResult` when the plan picked a
+    baseline; both carry ``output`` and per-phase virtual times.
+    """
+
+    result: Any
+    plan: "SortPlan"
+    fingerprint: "WorkloadFingerprint"
+    cache_hit: bool
+    feedback: "FeedbackRecord | None"
+
+    @property
+    def output(self) -> np.ndarray:
+        return self.result.output
+
+
+def autosort(
+    comm: "Comm",
+    local: np.ndarray,
+    *,
+    eps: float = 0.0,
+    cache: "PlanCache | None" = None,
+    seed: int = 0,
+    dry_runs: bool = True,
+    feedback: bool = True,
+) -> AutoSortResult:
+    """Sort a distributed array with an auto-tuned plan; collective.
+
+    The full plan lifecycle in one call: **fingerprint** the workload
+    (cheap sample statistics + one allreduce), **consult** the plan cache
+    (a warm hit performs zero planning dry runs), **plan** on a miss
+    (closed-form scoring + virtual-clock dry runs on rank 0, the decision
+    broadcast to all ranks), **run** the chosen algorithm, and **record
+    feedback** (observed vs predicted makespan) so drifting plans demote
+    themselves.  With ``cache=None`` every call replans and nothing
+    persists.
+
+    When tracing is active, the chosen ``plan_id`` is stamped into the
+    trace metadata so ``python -m repro.trace.report`` attributes the run
+    to the plan that shaped it.
+    """
+    from ..baselines import hss_sort, sample_sort
+    from ..tune.feedback import record_feedback
+    from ..tune.fingerprint import fingerprint_collective
+    from ..tune.planner import SortPlan, plan_sort
+    from ..mpi.ops import MAX
+
+    local = np.asarray(local)
+    fp = fingerprint_collective(comm, local)
+    if comm.rank == 0:
+        key = fp.bucket_key()
+        plan = cache.get(key) if cache is not None else None
+        cache_hit = plan is not None
+        if plan is None:
+            plan = plan_sort(
+                fp, comm.cost.machine, eps=eps, seed=seed, dry_runs=dry_runs
+            )
+            if cache is not None:
+                cache.put(key, plan)
+        payload = (plan.to_dict(), cache_hit)
+    else:
+        payload = None
+    plan_dict, cache_hit = comm.bcast(payload)
+    plan = SortPlan.from_dict(plan_dict)
+
+    recorder = comm.trace_recorder
+    if recorder is not None and comm.rank == 0:
+        recorder.metadata.update(
+            plan_id=plan.plan_id, plan_algo=plan.algo, plan_label=plan.label,
+            plan_cache_hit=bool(cache_hit),
+        )
+
+    if plan.algo == "dash":
+        result: Any = histogram_sort(comm, local, config=plan.config)
+    elif plan.algo == "hss":
+        # interval sampling: same variant the planner dry-ran
+        result = hss_sort(comm, local, eps=eps, sampling="interval", seed=seed)
+    elif plan.algo == "sample_sort":
+        result = sample_sort(comm, local)
+    else:
+        raise ValueError(f"plan names unknown algorithm {plan.algo!r}")
+
+    inner = getattr(result, "result", result)  # unwrap resilient results
+    observed = comm.allreduce(float(sum(inner.phases.values())), op=MAX)
+    record = None
+    if feedback:
+        if comm.rank == 0:
+            record = record_feedback(cache, plan, observed)
+        record = comm.bcast(record)
+    return AutoSortResult(
+        result=result, plan=plan, fingerprint=fp, cache_hit=bool(cache_hit),
+        feedback=record,
+    )
 
 
 def nth_element(comm: "Comm", local: np.ndarray, n: int):

@@ -2,12 +2,24 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Mapping
 
 __all__ = ["SplitterConfig", "SortConfig"]
 
 _MERGE_STRATEGIES = ("sort", "binary_tree", "tournament", "adaptive")
 _GUESS_POLICIES = ("minmax", "sample")
+
+
+def _checked_kwargs(cls, data: Mapping[str, Any]) -> dict[str, Any]:
+    """``data`` as constructor kwargs, rejecting unknown field names."""
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} field(s): {sorted(unknown)}; known: {sorted(known)}"
+        )
+    return dict(data)
 
 
 @dataclass(frozen=True)
@@ -45,6 +57,15 @@ class SplitterConfig:
             raise ValueError("sample_factor must be >= 1")
         if self.max_rounds < 1:
             raise ValueError("max_rounds must be >= 1")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form; inverse of :meth:`from_dict`."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SplitterConfig":
+        """Rebuild from :meth:`to_dict` output; unknown fields are rejected."""
+        return cls(**_checked_kwargs(cls, data))
 
 
 @dataclass(frozen=True)
@@ -112,3 +133,18 @@ class SortConfig:
     def with_(self, **kwargs) -> "SortConfig":
         """A copy with some fields replaced."""
         return replace(self, **kwargs)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form (nested splitter dict); inverse of :meth:`from_dict`."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["splitter"] = self.splitter.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SortConfig":
+        """Rebuild from :meth:`to_dict` output; unknown fields are rejected."""
+        kwargs = _checked_kwargs(cls, data)
+        splitter = kwargs.get("splitter")
+        if isinstance(splitter, Mapping):
+            kwargs["splitter"] = SplitterConfig.from_dict(splitter)
+        return cls(**kwargs)

@@ -194,8 +194,10 @@ class CostModel:
         beta = np.empty_like(volumes)
         lat = np.empty_like(volumes)
         for level in Level:
-            link = self.link_for(level)
             mask = lv == int(level)
+            if not mask.any():
+                continue  # single-node machines have no NETWORK link to price
+            link = self.link_for(level)
             b = link.beta
             if level >= Level.NETWORK:
                 if self.nic_sharing:

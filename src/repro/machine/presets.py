@@ -92,7 +92,11 @@ def laptop(cores: int = 8) -> MachineSpec:
         cpu_model="laptop",
         freq_ghz=3.0,
     )
-    links = {Level.NUMA: LinkSpec(latency=1.0e-7, bandwidth=10.0e9)}
+    links = {
+        Level.NUMA: LinkSpec(latency=1.0e-7, bandwidth=10.0e9),
+        # single socket, but the cost model still prices NODE-level traffic
+        Level.NODE: LinkSpec(latency=1.2e-7, bandwidth=9.0e9),
+    }
     return MachineSpec(
         name="laptop",
         nodes=1,

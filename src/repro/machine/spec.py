@@ -13,6 +13,7 @@ of the paper.
 from __future__ import annotations
 
 import enum
+import hashlib
 import math
 from dataclasses import dataclass, field, replace
 from typing import Mapping
@@ -190,6 +191,32 @@ class MachineSpec:
     def with_nodes(self, nodes: int) -> "MachineSpec":
         """A copy of this machine with a different node count."""
         return replace(self, nodes=nodes)
+
+    def signature(self) -> str:
+        """Stable short hash over everything that affects modelled cost.
+
+        Two machines with identical topology, link, and kernel constants
+        share a signature regardless of their display ``name``; any change
+        to a cost-relevant field changes it.  Used by :mod:`repro.tune` to
+        key and invalidate cached sort plans.
+        """
+        parts: list[str] = [f"nodes={self.nodes}", f"bisect={self.bisection_bandwidth!r}"]
+        n = self.node
+        parts.append(
+            "node="
+            f"{n.sockets},{n.numa_per_socket},{n.cores_per_numa},"
+            f"{n.threads_per_core},{n.mem_bytes},{n.freq_ghz!r}"
+        )
+        for lv in sorted(self.links):
+            spec = self.links[lv]
+            parts.append(f"link{int(lv)}={spec.latency!r},{spec.bandwidth!r}")
+        c = self.compute
+        parts.append(
+            "compute="
+            f"{c.c_sort!r},{c.c_merge!r},{c.c_partition!r},{c.c_search!r},"
+            f"{c.c_select!r},{c.memcpy_bandwidth!r},{c.call_overhead!r}"
+        )
+        return hashlib.sha256("|".join(parts).encode()).hexdigest()[:12]
 
     def describe(self) -> str:
         """Human-readable multi-line description (Table I style)."""

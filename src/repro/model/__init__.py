@@ -1,13 +1,23 @@
 """Analytic phase models and calibration against executed runs."""
 
-from .calibrate import ModelFit, fit_round_count, validate_model
-from .phases import PhasePrediction, predict_histsort, predict_hss
+from .calibrate import ModelFit, RoundsLike, fit_round_count, fit_time_scale, validate_model
+from .phases import (
+    MODEL_VERSION,
+    PhasePrediction,
+    predict_histsort,
+    predict_hss,
+    predict_samplesort,
+)
 
 __all__ = [
+    "MODEL_VERSION",
     "ModelFit",
     "PhasePrediction",
+    "RoundsLike",
     "fit_round_count",
+    "fit_time_scale",
     "predict_histsort",
     "predict_hss",
+    "predict_samplesort",
     "validate_model",
 ]

@@ -9,16 +9,28 @@ predictions use measured convergence behaviour rather than an assumption.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Protocol, Sequence
 
 import numpy as np
 
-from ..core.histsort import SortResult
 from ..machine.spec import MachineSpec
 from .phases import PhasePrediction, predict_histsort
 
-__all__ = ["ModelFit", "fit_round_count", "validate_model"]
+__all__ = ["ModelFit", "RoundsLike", "fit_round_count", "fit_time_scale", "validate_model"]
+
+
+class RoundsLike(Protocol):
+    """Anything carrying executed-run diagnostics the calibrators consume.
+
+    Both :class:`repro.core.histsort.SortResult` (direct execution) and
+    :class:`repro.bench.harness.TrialResult` (harness output) satisfy it,
+    so calibration can be fed straight from ``repeat_sort_trials``.
+    """
+
+    rounds: int
+    phases: dict[str, float]
 
 
 @dataclass(frozen=True)
@@ -35,17 +47,42 @@ class ModelFit:
         return self.predicted_total / self.executed_total
 
 
-def fit_round_count(results: Sequence[SortResult]) -> int:
-    """Median histogramming round count over executed runs."""
+def fit_round_count(results: Sequence[RoundsLike]) -> int:
+    """Median histogramming round count over executed runs.
+
+    Accepts :class:`SortResult` or harness :class:`TrialResult` records —
+    anything with a ``rounds`` attribute.  For an even number of results the
+    median falls on a half-integer; the convention is **round half up** (a
+    median of 2.5 rounds fits as 3), so the fitted model never under-prices
+    the splitting phase on a tie.
+    """
     rounds = [r.rounds for r in results]
     if not rounds:
         raise ValueError("no results to fit")
-    return int(np.median(rounds))
+    return int(math.floor(float(np.median(rounds)) + 0.5))
+
+
+def fit_time_scale(observed: Sequence[float], predicted: Sequence[float]) -> float:
+    """Robust multiplicative correction mapping predictions onto observations.
+
+    The median of per-run ``observed / predicted`` ratios: multiply a
+    prediction by it to de-bias the closed-form model against executed
+    makespans.  Used by :mod:`repro.tune.feedback` to fold residuals of
+    tuned runs back into future plan scoring.
+    """
+    if len(observed) != len(predicted):
+        raise ValueError("observed and predicted must have equal length")
+    ratios = [
+        o / p for o, p in zip(observed, predicted) if p > 0 and o > 0 and math.isfinite(o / p)
+    ]
+    if not ratios:
+        raise ValueError("no usable (observed, predicted) pairs")
+    return float(np.median(ratios))
 
 
 def validate_model(
     machine: MachineSpec,
-    executed: Sequence[SortResult],
+    executed: Sequence[RoundsLike],
     n_total: int,
     p: int,
     *,

@@ -26,7 +26,12 @@ from ..machine.spec import Level, MachineSpec
 from ..machine.topology import make_placement
 from ..core.merge import merge_cost
 
-__all__ = ["PhasePrediction", "predict_histsort", "predict_hss"]
+__all__ = ["MODEL_VERSION", "PhasePrediction", "predict_histsort", "predict_hss", "predict_samplesort"]
+
+#: bumped whenever a closed-form formula changes; cached tuning plans carry
+#: the version they were scored under and are invalidated on mismatch
+#: (see :mod:`repro.tune.cache`).
+MODEL_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -88,10 +93,12 @@ def predict_histsort(
     # Exchange: with a random input every rank sends ~(1 - 1/P) of its data,
     # spread uniformly over the other ranks; locality splits the volume into
     # intra-node (memcpy-priced under shm) and network shares.
-    rpn = placement.ranks_per_node
+    # A node cannot hold more of a rank's peers than exist: clamp, or the
+    # network share (1 - intra_frac) goes negative when ranks_per_node > p.
+    rpn = min(placement.ranks_per_node, p)
     send_bytes = n_local * itemsize * (1.0 - 1.0 / p)
     if p > 1:
-        intra_frac = (rpn - 1) / (p - 1)
+        intra_frac = min((rpn - 1) / (p - 1), 1.0)
     else:
         intra_frac = 1.0
     if use_shm:
@@ -176,6 +183,53 @@ def predict_hss(
         + compute.call_overhead
     )
     splitting = rounds * per_round + cost.allreduce(16, ranks)
+    return PhasePrediction(
+        local_sort=base.local_sort,
+        splitting=splitting,
+        exchange=base.exchange,
+        merge=base.merge,
+        other=base.other,
+    )
+
+
+def predict_samplesort(
+    machine: MachineSpec,
+    n_total: int,
+    p: int,
+    *,
+    ranks_per_node: int,
+    oversample: int = 16,
+    itemsize: int = 8,
+    use_shm: bool = True,
+) -> PhasePrediction:
+    """Modelled phases of one-shot sample sort (the §III baseline).
+
+    Splitting is a single round: every rank contributes ``oversample``
+    regular samples, the root sorts the ``oversample·p`` candidates and
+    broadcasts ``p-1`` splitters.  No histogramming, so the phase is cheap —
+    the price is imbalance, which this closed form (like the paper's §III
+    discussion) does not capture; dry runs through the executing runtime do.
+    """
+    base = predict_histsort(
+        machine,
+        n_total,
+        p,
+        ranks_per_node=ranks_per_node,
+        rounds=0,
+        itemsize=itemsize,
+        merge_strategy="sort",
+        use_shm=use_shm,
+    )
+    placement = make_placement(machine, p, ranks_per_node)
+    cost = CostModel(placement, use_shm=use_shm)
+    compute = machine.compute
+    ranks = list(range(p))
+    splitting = (
+        cost.gather(oversample * itemsize, ranks)
+        + compute.sort(oversample * p)
+        + cost.bcast(max(p - 1, 1) * itemsize, ranks)
+        + compute.call_overhead
+    )
     return PhasePrediction(
         local_sort=base.local_sort,
         splitting=splitting,

@@ -166,6 +166,10 @@ class TraceRecorder:
         self._spans: list[list[Span]] = [[] for _ in range(self.size)]
         self._tracers = [RankTracer(self, r) for r in range(self.size)]
         self.enabled = True
+        #: run-level attribution (e.g. the tuning ``plan_id`` that chose the
+        #: configuration); exported into the Chrome trace's ``otherData`` so
+        #: ``repro.trace.report`` can attribute a run to its plan
+        self.metadata: dict[str, Any] = {}
 
     # ---------------------------------------------------------------- record
 

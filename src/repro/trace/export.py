@@ -30,6 +30,7 @@ __all__ = [
     "to_chrome_json",
     "write_chrome_trace",
     "spans_from_chrome",
+    "metadata_from_chrome",
 ]
 
 #: reserved Chrome trace colors, assigned to phases round-robin by name
@@ -124,14 +125,17 @@ def chrome_trace_events(recorder: "TraceRecorder") -> list[dict[str, Any]]:
 
 def to_chrome_json(recorder: "TraceRecorder") -> dict[str, Any]:
     """The complete JSON-object form of the trace file."""
+    other: dict[str, Any] = {
+        "ranks": recorder.size,
+        "makespan_s": recorder.makespan,
+        "source": "repro.trace (virtual time; 1 trace us = 1 modelled us)",
+    }
+    # Run-level attribution (tuning plan ids etc.) rides along in otherData.
+    other.update(_json_safe(getattr(recorder, "metadata", {}) or {}))
     return {
         "traceEvents": chrome_trace_events(recorder),
         "displayTimeUnit": "ms",
-        "otherData": {
-            "ranks": recorder.size,
-            "makespan_s": recorder.makespan,
-            "source": "repro.trace (virtual time; 1 trace us = 1 modelled us)",
-        },
+        "otherData": other,
     }
 
 
@@ -141,6 +145,21 @@ def write_chrome_trace(path: str | Path, recorder: "TraceRecorder") -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(to_chrome_json(recorder)))
     return path
+
+
+def metadata_from_chrome(data: dict[str, Any] | list[dict[str, Any]]) -> dict[str, Any]:
+    """Run-level attribution from an exported trace (``otherData`` extras).
+
+    Returns only the caller-supplied metadata keys (e.g. ``plan_id``), not
+    the exporter's own bookkeeping fields.
+    """
+    if not isinstance(data, dict):
+        return {}
+    other = data.get("otherData", {})
+    if not isinstance(other, dict):
+        return {}
+    own = {"ranks", "makespan_s", "source"}
+    return {k: v for k, v in other.items() if k not in own}
 
 
 def spans_from_chrome(data: dict[str, Any] | list[dict[str, Any]]) -> list[Span]:

@@ -65,8 +65,12 @@ def _table(columns: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
     return "\n".join(lines)
 
 
-def render_report(spans: list[Span], *, top: int = 12) -> str:
-    """The full text report for a flat span list."""
+def render_report(spans: list[Span], *, top: int = 12, metadata: dict | None = None) -> str:
+    """The full text report for a flat span list.
+
+    ``metadata`` is run-level attribution from the trace's ``otherData``
+    (e.g. the ``plan_id`` of the tuning plan that chose the configuration).
+    """
     total = makespan_of(spans)
     acts = rank_activity(spans)
     out: list[str] = []
@@ -74,6 +78,10 @@ def render_report(spans: list[Span], *, top: int = 12) -> str:
     out.append(
         f"ranks: {len(acts)}   spans: {len(spans)}   makespan: {_fmt_time(total)}"
     )
+    if metadata:
+        out.append(
+            "attribution: " + "  ".join(f"{k}={v}" for k, v in sorted(metadata.items()))
+        )
 
     out.append("")
     out.append("-- per-rank activity --")
@@ -142,7 +150,9 @@ def render_report(spans: list[Span], *, top: int = 12) -> str:
 
 def report_recorder(recorder: "TraceRecorder", *, top: int = 12) -> str:
     """Render the report straight from a live recorder."""
-    return render_report(recorder.spans(), top=top)
+    return render_report(
+        recorder.spans(), top=top, metadata=getattr(recorder, "metadata", None)
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -157,7 +167,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    from .export import spans_from_chrome
+    from .export import metadata_from_chrome, spans_from_chrome
 
     try:
         data = json.loads(Path(args.trace).read_text())
@@ -172,7 +182,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"{args.trace}: no spans found", file=sys.stderr)
         return 1
     try:
-        print(render_report(spans, top=args.top))
+        print(render_report(spans, top=args.top, metadata=metadata_from_chrome(data)))
     except BrokenPipeError:  # e.g. piped into `head`
         sys.stderr.close()
     return 0

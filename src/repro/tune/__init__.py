@@ -1,0 +1,48 @@
+"""``repro.tune`` — cost-model-driven auto-tuning with a persistent plan cache.
+
+The paper's pitch is a sort that wins *without tuning*; this package is for
+everyone who wants the last word anyway.  It closes the loop between the
+closed-form cost model, the virtual-clock runtime, and executed results:
+
+* :mod:`~repro.tune.fingerprint` — compress a workload + machine into the
+  statistics planning depends on;
+* :mod:`~repro.tune.planner` — enumerate algorithm/config candidates,
+  model-score them, refine the top-k with deterministic virtual-clock dry
+  runs, emit a :class:`~repro.tune.planner.SortPlan`;
+* :mod:`~repro.tune.cache` — JSON-on-disk plan store keyed by fingerprint
+  bucket, versioned against the cost model and planner;
+* :mod:`~repro.tune.feedback` — compare executed makespans against the
+  plan's prediction, refit the correction, demote drifting plans.
+
+The one-call entry point is :func:`repro.core.api.autosort`; the CLI is
+``python -m repro.tune`` (recommend / explain / cache ls / cache clear).
+"""
+
+from .cache import CacheEntry, PlanCache, default_cache_path
+from .feedback import FeedbackRecord, record_feedback
+from .fingerprint import WorkloadFingerprint, fingerprint_collective, fingerprint_partition
+from .planner import (
+    Candidate,
+    SortPlan,
+    dry_run_count,
+    enumerate_candidates,
+    model_score,
+    plan_sort,
+)
+
+__all__ = [
+    "CacheEntry",
+    "Candidate",
+    "FeedbackRecord",
+    "PlanCache",
+    "SortPlan",
+    "WorkloadFingerprint",
+    "default_cache_path",
+    "dry_run_count",
+    "enumerate_candidates",
+    "fingerprint_collective",
+    "fingerprint_partition",
+    "model_score",
+    "plan_sort",
+    "record_feedback",
+]

@@ -1,0 +1,190 @@
+"""``python -m repro.tune`` — plan recommendation and cache management.
+
+Subcommands:
+
+* ``recommend`` — fingerprint a synthetic workload (machine preset +
+  distribution + shape), run the planner, print the chosen plan.
+* ``explain`` — same planning, but print the full per-candidate audit
+  trail (model score, dry-run time, refined prediction).
+* ``cache ls`` / ``cache clear`` — inspect or drop the persistent plan
+  cache.
+
+Everything is deterministic in ``--seed``; dry runs advance virtual
+clocks only, so the CLI is safe in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..data import make_partition
+from ..machine import presets
+from .cache import PlanCache, default_cache_path
+from .fingerprint import fingerprint_partition
+from .planner import SortPlan, plan_sort
+
+__all__ = ["main"]
+
+_PRESETS = {
+    "supermuc": presets.supermuc_phase2,
+    "laptop": presets.laptop,
+    "single_node": presets.single_node,
+    "abstract": presets.abstract_cluster,
+}
+
+
+def _machine(preset: str, nodes: int | None):
+    try:
+        factory = _PRESETS[preset]
+    except KeyError:
+        raise SystemExit(
+            f"unknown preset {preset!r}; available: {sorted(_PRESETS)}"
+        ) from None
+    if preset == "abstract":
+        return factory(nodes if nodes is not None else 16)
+    if preset == "supermuc" and nodes is not None:
+        return factory(nodes=nodes)
+    return factory()
+
+
+def _plan_from_args(args: argparse.Namespace) -> SortPlan:
+    machine = _machine(args.preset, args.nodes)
+    local = make_partition(args.dist, args.n_per_rank, rank=0, seed=args.seed or 1)
+    fp = fingerprint_partition(
+        local, p=args.p, machine=machine, ranks_per_node=args.ranks_per_node
+    )
+    return plan_sort(
+        fp, machine, eps=args.eps, seed=args.seed, dry_runs=not args.no_dry_runs
+    )
+
+
+def _fmt_s(x: float | None) -> str:
+    return "-" if x is None else f"{x:.6f}s"
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    plan = _plan_from_args(args)
+    print(f"plan {plan.plan_id}: {plan.label}")
+    print(f"  algo:      {plan.algo}")
+    print(f"  predicted: {_fmt_s(plan.predicted_s)}")
+    print(f"  key:       {plan.key}")
+    cfg = plan.config.to_dict()
+    splitter = cfg.pop("splitter")
+    print("  config:    " + "  ".join(f"{k}={v}" for k, v in sorted(cfg.items())))
+    print("  splitter:  " + "  ".join(f"{k}={v}" for k, v in sorted(splitter.items())))
+    if args.store:
+        cache = PlanCache(args.cache)
+        cache.put(plan.key, plan)
+        print(f"  stored in {cache.path}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    plan = _plan_from_args(args)
+    prov = plan.provenance
+    print(f"plan {plan.plan_id}: {plan.label}  (predicted {_fmt_s(plan.predicted_s)})")
+    print(
+        f"  planner v{prov['planner_version']}  model v{prov['model_version']}"
+        f"  seed={prov['seed']}  dry_runs={prov['dry_runs']}"
+    )
+    shape = prov["dry_shape"]
+    print(
+        f"  dry-run shape: p={shape['p']}  n/rank={shape['n_per_rank']}"
+        f"  ranks/node={shape['ranks_per_node']}"
+    )
+    print(f"  fingerprint:   {plan.key}")
+    print()
+    header = f"{'candidate':<36} {'model':>12} {'dry-run':>12} {'refined':>12}"
+    print(header)
+    print("-" * len(header))
+    for cand in prov["candidates"]:
+        mark = " *" if cand["label"] == plan.label else ""
+        print(
+            f"{cand['label']:<36} {_fmt_s(cand['model_s']):>12}"
+            f" {_fmt_s(cand['dry_s']):>12} {_fmt_s(cand['refined_s']):>12}{mark}"
+        )
+    return 0
+
+
+def _cmd_cache_ls(args: argparse.Namespace) -> int:
+    cache = PlanCache(args.cache)
+    print(f"cache: {cache.path}  ({len(cache)} entries)")
+    for key, entry in cache.items():
+        flags = []
+        if entry.demoted:
+            flags.append("DEMOTED")
+        if entry.feedback:
+            flags.append(f"fb={len(entry.feedback)} corr={entry.correction:.3f}")
+        suffix = ("  [" + ", ".join(flags) + "]") if flags else ""
+        print(f"  {entry.plan.plan_id}  hits={entry.hits:<3} {entry.plan.label:<34} {key}{suffix}")
+    return 0
+
+
+def _cmd_cache_clear(args: argparse.Namespace) -> int:
+    cache = PlanCache(args.cache)
+    n = cache.clear()
+    print(f"cleared {n} entr{'y' if n == 1 else 'ies'} from {cache.path}")
+    return 0
+
+
+def _add_planning_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--preset", default="abstract",
+        help=f"machine preset: {', '.join(sorted(_PRESETS))} (default: abstract)",
+    )
+    sub.add_argument("--nodes", type=int, default=None, help="node count for the preset")
+    sub.add_argument("-p", type=int, default=16, help="rank count (default: 16)")
+    sub.add_argument(
+        "-n", "--n-per-rank", type=int, default=1 << 20, dest="n_per_rank",
+        help="elements per rank (default: 1Mi)",
+    )
+    sub.add_argument(
+        "--ranks-per-node", type=int, default=None, help="ranks per node (default: packed)"
+    )
+    sub.add_argument(
+        "--dist", default="uniform_u64", help="workload distribution (default: uniform_u64)"
+    )
+    sub.add_argument("--eps", type=float, default=0.0, help="partition slack (default: 0)")
+    sub.add_argument("--seed", type=int, default=0, help="planning seed (default: 0)")
+    sub.add_argument(
+        "--no-dry-runs", action="store_true", help="plan from the closed forms only"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tune",
+        description="Cost-model-driven sort auto-tuning: recommend plans, "
+        "explain decisions, manage the plan cache.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser("recommend", help="plan a workload and print the choice")
+    _add_planning_args(rec)
+    rec.add_argument("--store", action="store_true", help="write the plan into the cache")
+    rec.add_argument(
+        "--cache", default=None,
+        help=f"cache path for --store (default: {default_cache_path()})",
+    )
+    rec.set_defaults(func=_cmd_recommend)
+
+    exp = sub.add_parser("explain", help="plan a workload and print the audit trail")
+    _add_planning_args(exp)
+    exp.set_defaults(func=_cmd_explain)
+
+    cache = sub.add_parser("cache", help="inspect or clear the plan cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    ls = cache_sub.add_parser("ls", help="list cached plans")
+    ls.add_argument("--cache", default=None, help="cache path")
+    ls.set_defaults(func=_cmd_cache_ls)
+    clear = cache_sub.add_parser("clear", help="drop every cached plan")
+    clear.add_argument("--cache", default=None, help="cache path")
+    clear.set_defaults(func=_cmd_cache_clear)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    sys.exit(main())

@@ -97,6 +97,49 @@ class TestTrials:
         assert len(trials) == 3
         assert stats.ci_low <= stats.median <= stats.ci_high
 
+    @pytest.mark.parametrize("algo", ["dash", "hss", "sample_sort", "psrs"])
+    def test_trial_records_carry_rounds(self, algo):
+        # every algorithm's trial reports histogramming rounds (1 for the
+        # single-round baselines), so harness output can feed
+        # repro.model.calibrate.fit_round_count directly
+        trial = run_sort_trial(
+            4, 512, algo=algo, machine=supermuc_phase2(), ranks_per_node=4
+        )
+        assert isinstance(trial.rounds, int) and trial.rounds >= 1
+        if algo in ("sample_sort", "psrs"):
+            assert trial.rounds == 1
+
+    def test_trials_feed_round_calibration(self):
+        from repro.model import fit_round_count
+
+        trials = [
+            run_sort_trial(4, 512, seed=s, machine=supermuc_phase2(), ranks_per_node=4)
+            for s in (1, 2, 3)
+        ]
+        fitted = fit_round_count(trials)
+        assert min(t.rounds for t in trials) <= fitted <= max(t.rounds for t in trials)
+
+    def test_plan_auto_trial(self, tmp_path):
+        from repro.tune import PlanCache
+
+        cache = PlanCache(tmp_path / "plans.json")
+        machine = supermuc_phase2(nodes=2)
+        first = run_sort_trial(
+            4, 512, plan="auto", plan_cache=cache, machine=machine, ranks_per_node=2
+        )
+        assert first.total > 0
+        assert first.extra["plan_id"] and first.extra["plan_algo"]
+        assert first.extra["plan_cache_hit"] is False
+        second = run_sort_trial(
+            4, 512, plan="auto", plan_cache=cache, machine=machine, ranks_per_node=2
+        )
+        assert second.extra["plan_cache_hit"] is True
+        assert second.extra["plan_id"] == first.extra["plan_id"]
+
+    def test_plan_argument_validated(self):
+        with pytest.raises(ValueError):
+            run_sort_trial(2, 64, plan="magic")
+
 
 class TestExperimentsFast:
     def test_table1(self):

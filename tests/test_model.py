@@ -8,8 +8,10 @@ from repro.machine import supermuc_phase2
 from repro.model import (
     PhasePrediction,
     fit_round_count,
+    fit_time_scale,
     predict_histsort,
     predict_hss,
+    predict_samplesort,
     validate_model,
 )
 
@@ -58,6 +60,14 @@ class TestPredictHistsort:
         pred = predict_histsort(machine, 2**20, 1, ranks_per_node=1, rounds=0)
         assert pred.total > 0
 
+    def test_fewer_ranks_than_node_cores(self, machine):
+        # regression: ranks_per_node > p drove intra_frac above 1 and made
+        # the modelled exchange time negative
+        pred = predict_histsort(machine, 2**16, 4, ranks_per_node=28, rounds=8)
+        assert pred.exchange > 0
+        for v in pred.as_dict().values():
+            assert v >= 0
+
     def test_validation(self, machine):
         with pytest.raises(ValueError):
             predict_histsort(machine, 100, 0, ranks_per_node=1, rounds=1)
@@ -76,15 +86,49 @@ class TestPredictHss:
         assert big.splitting > small.splitting
 
 
+class TestPredictSamplesort:
+    def test_splitting_is_one_shot(self, machine):
+        ss = predict_samplesort(machine, 2**28, 256, ranks_per_node=16)
+        hist = predict_histsort(machine, 2**28, 256, ranks_per_node=16, rounds=20)
+        assert 0 < ss.splitting < hist.splitting
+        assert ss.local_sort == hist.local_sort
+
+    def test_oversampling_costs(self, machine):
+        lean = predict_samplesort(machine, 2**28, 256, ranks_per_node=16, oversample=8)
+        rich = predict_samplesort(machine, 2**28, 256, ranks_per_node=16, oversample=4096)
+        assert rich.splitting > lean.splitting
+
+
+class _R:
+    def __init__(self, rounds):
+        self.rounds = rounds
+
+
 class TestCalibration:
     def test_fit_round_count(self):
-        class R:
-            def __init__(self, rounds):
-                self.rounds = rounds
-
-        assert fit_round_count([R(10), R(20), R(12)]) == 12
+        assert fit_round_count([_R(10), _R(20), _R(12)]) == 12
         with pytest.raises(ValueError):
             fit_round_count([])
+
+    def test_fit_round_count_rounds_half_up(self):
+        # regression: int(median) used to truncate the even-count midpoint,
+        # e.g. median([1, 2, 3, 4]) = 2.5 silently became 2 rounds
+        assert fit_round_count([_R(1), _R(2), _R(3), _R(4)]) == 3
+        assert fit_round_count([_R(10), _R(11)]) == 11
+        assert fit_round_count([_R(7), _R(7)]) == 7
+
+    def test_fit_round_count_accepts_harness_records(self, machine):
+        # the Protocol contract: anything with .rounds works, including
+        # bench-harness TrialResult objects
+        trial = run_sort_trial(4, 512, machine=machine, ranks_per_node=4)
+        assert fit_round_count([trial, trial]) == trial.rounds
+
+    def test_fit_time_scale(self):
+        assert fit_time_scale([2.0, 4.0, 20.0], [1.0, 2.0, 2.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            fit_time_scale([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            fit_time_scale([], [])
 
     def test_model_matches_execution_within_factor(self, machine):
         """Model and runtime share the cost model: totals agree closely."""
