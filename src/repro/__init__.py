@@ -24,7 +24,10 @@ from . import machine, mpi  # noqa: E402  (re-exported subsystems)
 __all__ = ["machine", "mpi", "__version__"]
 
 
-_LAZY_SUBMODULES = {"core", "seq", "baselines", "smp", "data", "model", "trace", "bench", "tune"}
+_LAZY_SUBMODULES = {
+    "core", "seq", "baselines", "smp", "data", "model", "trace", "bench",
+    "tune", "sanitize",
+}
 _LAZY_API = {
     "sort",
     "sorted_result",

@@ -8,7 +8,8 @@ plus aliases created by ``split``/``dup``), tracks *rank-tainted* names
 message`` and the CLI exits non-zero when any survive.
 
 Suppression: a line containing ``# spmd: ignore`` silences every rule on
-that line; ``# spmd: ignore[RULE-ID]`` silences one rule.
+that line; ``# spmd: ignore[RULE-ID]`` silences one rule.  The ``SPMD-``
+prefix may be dropped inside the brackets (``# spmd: ignore[BUFFER-REUSE]``).
 """
 
 from __future__ import annotations
@@ -93,7 +94,11 @@ class ModuleInfo:
         rules = m.group("rules")
         if rules is None:
             return True
-        return rule in {r.strip() for r in rules.split(",")}
+        # Rule IDs may be written without the "SPMD-" prefix:
+        # `# spmd: ignore[BUFFER-REUSE]` == `# spmd: ignore[SPMD-BUFFER-REUSE]`
+        # (the `spmd:` marker already names the namespace).
+        listed = {r.strip() for r in rules.split(",")}
+        return rule in listed or rule.removeprefix("SPMD-") in listed
 
 
 @dataclass

@@ -30,6 +30,18 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "sarif"),
+        default="text",
+        help="output format: human-readable text or SARIF 2.1.0 JSON",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the report to FILE instead of stdout",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -43,8 +55,22 @@ def main(argv: list[str] | None = None) -> int:
         print(f"repro.analyze: internal error: {exc}", file=sys.stderr)
         return 2
 
-    for f in findings:
-        print(f.format())
+    if args.format == "sarif":
+        from .sarif import dump_sarif
+
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                dump_sarif(findings, fh)
+        else:
+            dump_sarif(findings, sys.stdout)
+    else:
+        out = open(args.output, "w", encoding="utf-8") if args.output else sys.stdout
+        try:
+            for f in findings:
+                print(f.format(), file=out)
+        finally:
+            if out is not sys.stdout:
+                out.close()
     if any(f.rule == RULE_PARSE_ERROR for f in findings):
         print("repro.analyze: could not parse some inputs", file=sys.stderr)
         return 2

@@ -20,6 +20,10 @@ as ``file:line: RULE-ID message``:
 ``SPMD-WALLCLOCK``
     A rank function reads wall-clock time or an unseeded random source,
     breaking virtual-clock determinism.
+
+Three further rules live in :mod:`repro.analyze.dataflow` (they need a
+control-flow graph rather than per-statement inspection):
+``SPMD-BUFFER-REUSE``, ``SPMD-VIEW-SEND`` and ``SPMD-SHAPE-MISMATCH``.
 """
 
 from __future__ import annotations
@@ -35,6 +39,12 @@ from .astlint import (
     ModuleInfo,
     build_context,
     iter_functions,
+)
+from .dataflow import (
+    RULE_BUFFER_REUSE,
+    RULE_SHAPE_MISMATCH,
+    RULE_VIEW_SEND,
+    check_function as _dataflow_rules,
 )
 
 __all__ = ["RULES", "check_module", "check_tags"]
@@ -58,6 +68,9 @@ RULES: tuple[Rule, ...] = (
     Rule(RULE_BLOCKING_CYCLE, "symmetric blocking send/send or recv/recv across a rank branch"),
     Rule(RULE_TAG_COLLISION, "literal tag collides across modules or invades a foreign namespace"),
     Rule(RULE_WALLCLOCK, "wall-clock / nondeterministic source inside a rank function"),
+    Rule(RULE_BUFFER_REUSE, "buffer written between isend() and its request's wait()"),
+    Rule(RULE_VIEW_SEND, "payload of a send is a numpy view expression without .copy()"),
+    Rule(RULE_SHAPE_MISMATCH, "uniform-shape collective fed a rank-dependent-length payload"),
 )
 
 
@@ -549,4 +562,5 @@ def check_module(mod: ModuleInfo) -> list[Finding]:
         findings.extend(_unwaited_requests(mod, ctx))
         findings.extend(_blocking_cycle(mod, ctx))
         findings.extend(_wallclock(mod, ctx))
+        findings.extend(_dataflow_rules(mod, ctx))
     return findings

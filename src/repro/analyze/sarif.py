@@ -1,0 +1,100 @@
+"""SARIF 2.1.0 export for lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the schema GitHub
+code scanning ingests: ``python -m repro.analyze --format sarif`` writes a
+log that ``github/codeql-action/upload-sarif`` turns into inline PR
+annotations.  One run, one driver (``repro.analyze``), one rule entry per
+catalogue rule, one result per finding.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .astlint import Finding
+
+__all__ = ["to_sarif", "dump_sarif"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_VERSION = "2.1.0"
+
+#: findings that abort analysis map to SARIF "error"; lint rules to "warning"
+_ERROR_RULES = frozenset({"SPMD-PARSE-ERROR"})
+
+
+def _rule_catalogue() -> list[dict]:
+    from .rules import RULES
+
+    rules = [
+        {
+            "id": rule.id,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {"level": "warning"},
+        }
+        for rule in RULES
+    ]
+    rules.append(
+        {
+            "id": "SPMD-PARSE-ERROR",
+            "shortDescription": {"text": "input could not be parsed"},
+            "defaultConfiguration": {"level": "error"},
+        }
+    )
+    return rules
+
+
+def _result(finding: Finding, rule_index: dict[str, int]) -> dict:
+    return {
+        "ruleId": finding.rule,
+        **(
+            {"ruleIndex": rule_index[finding.rule]}
+            if finding.rule in rule_index
+            else {}
+        ),
+        "level": "error" if finding.rule in _ERROR_RULES else "warning",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(finding.line, 1)},
+                }
+            }
+        ],
+    }
+
+
+def to_sarif(findings: Iterable[Finding]) -> dict:
+    """Findings as a SARIF 2.1.0 log object (JSON-serializable dict)."""
+    rules = _rule_catalogue()
+    rule_index = {r["id"]: i for i, r in enumerate(rules)}
+    return {
+        "$schema": _SCHEMA,
+        "version": _VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analyze",
+                        "informationUri": "https://github.com/",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": [_result(f, rule_index) for f in findings],
+            }
+        ],
+    }
+
+
+def dump_sarif(findings: Iterable[Finding], stream) -> None:
+    """Serialize findings as SARIF JSON to a text stream."""
+    json.dump(to_sarif(findings), stream, indent=2, sort_keys=False)
+    stream.write("\n")

@@ -142,6 +142,7 @@ def run_sort_trial(
     use_shm: bool = True,
     trace_path: str | Path | None = None,
     check: bool | None = None,
+    sanitize: bool | None = None,
     faults=None,
     plan: str | None = None,
     plan_cache=None,
@@ -154,7 +155,9 @@ def run_sort_trial(
     ``python -m repro.trace.report``).  ``check`` enables the runtime
     correctness checker (collective congruence, deadlock detection, leak
     report); ``None`` defers to the ``REPRO_CHECK`` environment variable.
-    Neither tracing nor checking perturbs the modelled times.
+    ``sanitize`` enables the happens-before/buffer-lifetime sanitizer
+    (:mod:`repro.sanitize`); ``None`` defers to ``REPRO_SANITIZE``.
+    Neither tracing, checking nor sanitizing perturbs the modelled times.
 
     ``faults`` injects a :class:`~repro.faults.FaultPlan` (pair it with a
     resilient ``config`` so the sort can heal); ranks the plan crashes
@@ -189,6 +192,7 @@ def run_sort_trial(
         return_runtime=True,
         trace=trace_path is not None,
         check=check,
+        sanitize=sanitize,
         faults=faults,
     )
     if trace_path is not None and rt.trace is not None:

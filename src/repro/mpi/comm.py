@@ -56,6 +56,9 @@ class _Message:
     #: extra transfer-cost multiples injected by the fault plan (delay
     #: spikes + degraded-link windows); 0.0 on every faultless path
     penalty: float = 0.0
+    #: sanitizer annotation (vector-clock snapshot + origin-buffer refs);
+    #: None whenever the sanitizer is off
+    san: Any = None
 
 
 class _Mailbox:
@@ -188,6 +191,12 @@ class _CommState:
         chk = rt.checker
         if chk is not None:
             chk.collective_op(self, idx, trace_name or "<anonymous>", root)
+        san = rt.sanitizer
+        if san is not None:
+            # Deposit edge: snapshot this member's vector clock and pin
+            # weak references to its deposit arrays (stable until barrier
+            # C releases the slots for reuse).
+            san.collective_entry(self, idx, deposit, trace_name or "<anonymous>")
         rec = rt.trace
         if rec is not None:
             wrank = self.world_ranks[idx]
@@ -216,6 +225,11 @@ class _CommState:
             except BaseException:
                 self.runtime.abort()
                 raise
+            if san is not None:
+                # Extraction edge, still before barrier C: every member's
+                # deposit is live here, so the alias check sees the true
+                # sharing relation between this result and peer deposits.
+                san.collective_exit(self, idx, out, op)
             self._checked_barrier_wait(idx, op)
         except threading.BrokenBarrierError:
             if chk is not None:
@@ -494,6 +508,12 @@ class Comm:
         rt.stats.record_send(self.world_rank, nbytes)
         rec = rt.trace
         wdest = self._state.world_ranks[dest]
+        san = rt.sanitizer
+        if san is not None and _at is None:
+            # Protocol (``_at``) sends are reactive retransmissions; their
+            # delivery timing is thread-scheduling dependent, so they carry
+            # no happens-before annotation (the data-plane copy already did).
+            msg.san = san.on_send(self.world_rank, obj, wdest, tag)
         if rec is not None:
             rec.record(
                 self.world_rank,
@@ -544,7 +564,7 @@ class Comm:
                 rec.record(self.world_rank, "dup", "fault", t0, departure,
                            peer=wdest, tag=tag, bytes=nbytes)
             dup = _Message(self._rank, tag, copy_payload(msg.payload),
-                           departure, nbytes, penalty=msg.penalty)
+                           departure, nbytes, penalty=msg.penalty, san=msg.san)
             if chk is not None:
                 chk.note_send(self._state, dest, self._rank, tag)
             with mb.cond:
@@ -586,6 +606,10 @@ class Comm:
                                  span_name=_span_name)
         wsrc = self._state.world_ranks[msg.src]
         self.clock = max(self.clock, self._arrival(msg))
+        san = rt.sanitizer
+        if san is not None:
+            san.on_recv(self.world_rank, msg.payload, msg.san, wsrc, msg.tag,
+                        op=_span_name)
         if rec is not None:
             # The rank blocks from t0 until the message departs, then pays
             # the transfer: idle is the blocked share, the remainder is
@@ -774,8 +798,22 @@ class Comm:
         return self.recv(source, tag)
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        self._check_peer(dest)
+        san = self._rt.sanitizer
+        record = None
+        if san is not None:
+            # Fingerprint the *user's* buffers before the eager copy: the
+            # request re-checks them at wait()/test() and reports
+            # WRITE-AFTER-ISEND if the sender mutated one in flight.
+            record = san.begin_isend(
+                self.world_rank, obj, self._state.world_ranks[dest], tag
+            )
         self.send(obj, dest, tag)
-        return _DoneRequest()
+        req = _DoneRequest()
+        if record is not None:
+            req._san = san
+            req._san_record = record
+        return req
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
         req = _IRecvRequest(self, source, tag)
@@ -783,6 +821,31 @@ class Comm:
         if chk is not None:
             req._record = chk.note_irecv(self.world_rank, source, tag)
         return req
+
+    # ------------------------------------------------------------ sanitizer
+
+    def mark_read(self, obj: Any) -> None:
+        """Annotate a read of an object shared across rank closures.
+
+        No-op unless the runtime was built with ``sanitize=True``; with
+        the sanitizer attached, the access joins this rank's vector clock
+        into the object's happens-before history and reports an HB-RACE
+        if it is concurrent with another rank's write.
+        """
+        san = self._rt.sanitizer
+        if san is not None:
+            san.mark_read(self.world_rank, obj)
+
+    def mark_write(self, obj: Any) -> None:
+        """Annotate a write to an object shared across rank closures.
+
+        No-op unless the runtime was built with ``sanitize=True``; with
+        the sanitizer attached, the write is checked against every other
+        rank's unordered reads and writes of the same object.
+        """
+        san = self._rt.sanitizer
+        if san is not None:
+            san.mark_write(self.world_rank, obj)
 
     def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
         """Non-blocking check whether a matching message is pending."""

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import copy
 from numbers import Number
-from typing import Any
+from typing import Any, Iterator
 
 import numpy as np
 
@@ -27,6 +27,46 @@ def copy_payload(obj: Any) -> Any:
     if isinstance(obj, dict):
         return {k: copy_payload(v) for k, v in obj.items()}
     return copy.deepcopy(obj)
+
+
+#: maximum container/object nesting depth walked by :func:`iter_arrays`
+_WALK_DEPTH = 8
+
+
+def iter_arrays(obj: Any, *, _depth: int = 0, _seen: set[int] | None = None) -> Iterator[np.ndarray]:
+    """Yield every ndarray reachable inside a payload.
+
+    Walks tuples/lists/dicts, and — for *user* classes only — one
+    ``__dict__`` level per object, so a payload object that smuggles an
+    array past :func:`copy_payload` (e.g. via ``__deepcopy__``) is still
+    visible to the sanitizer.  Instances of ``repro.*`` classes are not
+    introspected: runtime handles (``Comm`` and friends) reach the whole
+    runtime graph, including mutable bookkeeping arrays that must never be
+    mistaken for payload buffers.
+    """
+    if _depth > _WALK_DEPTH:
+        return
+    if isinstance(obj, np.ndarray):
+        yield obj
+        return
+    if obj is None or isinstance(obj, (bool, int, float, complex, str, bytes, np.generic)):
+        return
+    if _seen is None:
+        _seen = set()
+    if id(obj) in _seen:
+        return
+    _seen.add(id(obj))
+    if isinstance(obj, (tuple, list)):
+        for x in obj:
+            yield from iter_arrays(x, _depth=_depth + 1, _seen=_seen)
+    elif isinstance(obj, dict):
+        for v in obj.values():
+            yield from iter_arrays(v, _depth=_depth + 1, _seen=_seen)
+    elif not type(obj).__module__.startswith("repro"):
+        attrs = getattr(obj, "__dict__", None)
+        if attrs is not None:
+            for v in attrs.values():
+                yield from iter_arrays(v, _depth=_depth + 1, _seen=_seen)
 
 
 def payload_nbytes(obj: Any) -> int:

@@ -13,6 +13,8 @@ from typing import TYPE_CHECKING, Any, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..analyze.runtime_check import RequestRecord
+    from ..sanitize import Sanitizer
+    from ..sanitize.shadow import InflightRecord
     from .comm import Comm
 
 
@@ -29,12 +31,31 @@ class Request:
 
 
 class _DoneRequest(Request):
-    """An already-completed operation (eager sends complete immediately)."""
+    """An already-completed operation (eager sends complete immediately).
+
+    Under ``sanitize=True`` an ``isend``'s request carries the sanitizer's
+    fingerprint record of the user's buffers; the first ``wait()`` /
+    ``test()`` is the operation's completion edge and re-checks them
+    (WRITE-AFTER-ISEND).  The check runs once — completion is a single
+    event even when ``wait()`` is called repeatedly.
+    """
+
+    #: sanitizer plumbing, set by ``Comm.isend`` when sanitizing
+    _san: "Sanitizer | None" = None
+    _san_record: "InflightRecord | None" = None
+
+    def _complete(self) -> None:
+        san, record = self._san, self._san_record
+        if san is not None and record is not None:
+            self._san = self._san_record = None
+            san.check_inflight(record)
 
     def wait(self) -> None:
+        self._complete()
         return None
 
     def test(self) -> tuple[bool, Any]:
+        self._complete()
         return True, None
 
 

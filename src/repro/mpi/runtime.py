@@ -37,6 +37,11 @@ def _check_default() -> bool:
     return os.environ.get("REPRO_CHECK", "").strip().lower() not in ("", "0", "false")
 
 
+def _sanitize_default() -> bool:
+    """Resolve ``sanitize=None`` from the ``REPRO_SANITIZE`` environment variable."""
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() not in ("", "0", "false")
+
+
 class Stats:
     """Per-rank and aggregate communication statistics.
 
@@ -113,6 +118,18 @@ class Runtime:
         ``None`` (the default) reads the ``REPRO_CHECK`` environment
         variable.  Checking never changes the virtual clocks: a checked
         run is bit-identical to an unchecked one.
+    sanitize:
+        Attach a :class:`~repro.sanitize.Sanitizer`: per-rank vector
+        clocks advanced at every send/recv/collective edge, buffer
+        fingerprints taken at ``isend``/``send``/collective entry and
+        re-checked at delivery/``wait()``, and FastTrack-style race
+        checking of closure-shared objects (``comm.mark_read`` /
+        ``comm.mark_write``).  Detected hazards (WRITE-AFTER-ISEND,
+        RECV-ALIAS, HB-RACE) raise
+        :class:`~repro.sanitize.SanitizerError` at finalize.  ``None``
+        (the default) reads the ``REPRO_SANITIZE`` environment variable.
+        Sanitizing never changes the virtual clocks and composes with
+        ``check`` and ``trace``.
     faults:
         A :class:`~repro.faults.FaultPlan` to inject into the delivery
         path (message drops/duplications/delays, degraded links, rank
@@ -131,6 +148,7 @@ class Runtime:
         use_shm: bool = True,
         trace: bool = False,
         check: bool | None = None,
+        sanitize: bool | None = None,
         faults: FaultPlan | None = None,
     ):
         if size < 1:
@@ -156,6 +174,13 @@ class Runtime:
             from ..analyze.runtime_check import RuntimeChecker
 
             self.checker = RuntimeChecker(self)
+        self.sanitizer = None
+        if sanitize is None:
+            sanitize = _sanitize_default()
+        if sanitize:
+            from ..sanitize import Sanitizer
+
+            self.sanitizer = Sanitizer(self)
         self._states: list[_CommState] = []
         self._registry_lock = threading.Lock()
         self._aborted = False
@@ -343,6 +368,8 @@ class Runtime:
                 "no rank can make progress under the fault plan:\n"
                 + self._fault_deadlock
             )
+        if self.sanitizer is not None:
+            self.sanitizer.raise_if_findings()
         self._finalize_check()
         return results
 
@@ -415,6 +442,10 @@ class Runtime:
         self._fault_deadlock = None
         if self.checker is not None:
             self.checker.reset()
+        if self.sanitizer is not None:
+            from ..sanitize import Sanitizer
+
+            self.sanitizer = Sanitizer(self)
 
 
 def run_spmd(
@@ -427,6 +458,7 @@ def run_spmd(
     use_shm: bool = True,
     trace: bool = False,
     check: bool | None = None,
+    sanitize: bool | None = None,
     faults: FaultPlan | None = None,
     per_rank_args: Sequence[Sequence[Any]] | None = None,
     timeout: float | None = None,
@@ -439,7 +471,11 @@ def run_spmd(
     recorder at ``rt.trace``).  With ``check=True`` (default: the
     ``REPRO_CHECK`` environment variable) the runtime verifies collective
     congruence, detects deadlocks, and reports message leaks — without
-    changing the virtual clocks.
+    changing the virtual clocks.  With ``sanitize=True`` (default: the
+    ``REPRO_SANITIZE`` environment variable) it additionally tracks
+    happens-before vector clocks and buffer lifetimes, raising
+    :class:`~repro.sanitize.SanitizerError` on write-after-isend,
+    receive-aliasing, or data races — again without touching the clocks.
 
     >>> def hello(comm):
     ...     return comm.allreduce(comm.rank)
@@ -454,6 +490,7 @@ def run_spmd(
         use_shm=use_shm,
         trace=trace,
         check=check,
+        sanitize=sanitize,
         faults=faults,
     )
     results = rt.run(fn, args=args, per_rank_args=per_rank_args, timeout=timeout)

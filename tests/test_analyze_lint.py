@@ -351,6 +351,36 @@ class TestSuppression:
             """
         )
 
+    def test_prefixless_shorthand_suppresses(self):
+        # `spmd:` already names the namespace, so the SPMD- prefix is
+        # optional inside the brackets.
+        assert not findings_for(
+            """
+            def f(comm, x):
+                if comm.rank == 0:
+                    comm.barrier()  # spmd: ignore[DIV-COLLECTIVE]
+            """
+        )
+
+    def test_prefixless_wrong_rule_does_not_suppress(self):
+        hits = findings_for(
+            """
+            def f(comm, x):
+                if comm.rank == 0:
+                    comm.barrier()  # spmd: ignore[WALLCLOCK]
+            """
+        )
+        assert len(hits) == 1
+
+    def test_shorthand_in_comma_list(self):
+        assert not findings_for(
+            """
+            def f(comm, x):
+                if comm.rank == 0:
+                    comm.barrier()  # spmd: ignore[WALLCLOCK, DIV-COLLECTIVE]
+            """
+        )
+
 
 class TestCli:
     def _run(self, *args, cwd):
@@ -394,8 +424,49 @@ class TestCli:
             "SPMD-BLOCKING-CYCLE",
             "SPMD-TAG-COLLISION",
             "SPMD-WALLCLOCK",
+            "SPMD-BUFFER-REUSE",
+            "SPMD-VIEW-SEND",
+            "SPMD-SHAPE-MISMATCH",
         ):
             assert rule in proc.stdout
+
+    def test_sarif_output(self, tmp_path):
+        import json
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(comm, x):\n    if comm.rank == 0:\n        comm.barrier()\n")
+        out = tmp_path / "lint.sarif"
+        proc = self._run(
+            str(bad),
+            "--format",
+            "sarif",
+            "--output",
+            str(out),
+            cwd=Path(__file__).resolve().parents[1],
+        )
+        assert proc.returncode == 1  # findings still drive the exit code
+        doc = json.loads(out.read_text())
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro.analyze"
+        (result,) = run["results"]
+        assert result["ruleId"] == "SPMD-DIV-COLLECTIVE"
+        assert result["level"] == "warning"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["region"]["startLine"] == 3
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "SPMD-BUFFER-REUSE" in rule_ids
+
+    def test_sarif_clean_tree_is_valid_empty_log(self, tmp_path):
+        import json
+
+        (tmp_path / "ok.py").write_text("def f(comm, x):\n    return comm.allreduce(x)\n")
+        proc = self._run(
+            str(tmp_path), "--format", "sarif", cwd=Path(__file__).resolve().parents[1]
+        )
+        assert proc.returncode == 0
+        doc = json.loads(proc.stdout)
+        assert doc["runs"][0]["results"] == []
 
 
 class TestRepoIsClean:
