@@ -26,7 +26,7 @@ __all__ = ["machine", "mpi", "__version__"]
 
 _LAZY_SUBMODULES = {
     "core", "seq", "baselines", "smp", "data", "model", "trace", "bench",
-    "tune", "sanitize",
+    "tune", "sanitize", "metrics", "perf",
 }
 _LAZY_API = {
     "sort",

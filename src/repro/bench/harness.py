@@ -10,6 +10,7 @@ median from order statistics.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Sequence
@@ -23,7 +24,14 @@ from ..machine import MachineSpec
 from ..mpi import run_spmd
 from ..trace.timer import combine_phases
 
-__all__ = ["TrialResult", "RepeatStats", "median_ci", "run_sort_trial", "repeat_sort_trials"]
+__all__ = [
+    "TrialResult",
+    "RepeatStats",
+    "median_ci",
+    "peak_rss_bytes",
+    "run_sort_trial",
+    "repeat_sort_trials",
+]
 
 
 def _result_record(inner) -> dict[str, Any]:
@@ -77,6 +85,21 @@ def median_ci(values: Sequence[float], confidence: float = 0.95) -> RepeatStats:
     lo = max(0, int(math.floor(n / 2.0 - half)))
     hi = min(n - 1, int(math.ceil(n / 2.0 + half)) - 1)
     return RepeatStats(med, vals[lo], vals[hi], n, tuple(vals))
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process in bytes (0 if unknown).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; the
+    :mod:`resource` module is POSIX-only, so this degrades to 0 elsewhere.
+    """
+    try:
+        import resource
+        import sys
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(rss) if sys.platform == "darwin" else int(rss) * 1024
 
 
 _ALGOS: dict[str, Callable] = {}
@@ -147,6 +170,8 @@ def run_sort_trial(
     plan: str | None = None,
     plan_cache=None,
     plan_seed: int = 0,
+    metrics=None,
+    metrics_labels: dict[str, Any] | None = None,
 ) -> TrialResult:
     """Execute one distributed sort and collect virtual-time statistics.
 
@@ -170,11 +195,20 @@ def run_sort_trial(
     to persist plans across trials (a warm cache skips planning entirely);
     ``plan_seed`` seeds the planner.  The chosen ``plan_id``/``plan_algo``
     and cache-hit flag land in ``extra``.
+
+    ``metrics`` accepts a :class:`repro.metrics.MetricsRegistry`; after the
+    run its statistics and phase breakdown are folded in under
+    ``metrics_labels`` (collection is post-hoc, so an observed run stays
+    bit-identical to an unobserved one).  ``extra`` always carries the
+    harness-overhead pair ``wall_s`` (simulator wall-clock seconds for the
+    run) and ``peak_rss_bytes`` (process high-water memory), so snapshot
+    cells can report what the *simulation* cost alongside virtual time.
     """
     if plan not in (None, "auto"):
         raise ValueError(f"plan must be None or 'auto', got {plan!r}")
     if plan is None and algo not in _ALGOS:
         raise KeyError(f"unknown algo {algo!r}; available: {sorted(_ALGOS)}")
+    wall_t0 = time.perf_counter()
     results, rt = run_spmd(
         p,
         _trial_program,
@@ -195,19 +229,36 @@ def run_sort_trial(
         sanitize=sanitize,
         faults=faults,
     )
+    wall_s = time.perf_counter() - wall_t0
     if trace_path is not None and rt.trace is not None:
         from ..trace.export import write_chrome_trace
 
         write_chrome_trace(trace_path, rt.trace)
     results = [r for r in results if r is not None]  # crashed ranks
     phases = combine_phases([r["phases"] for r in results], how="max")
-    extra: dict[str, Any] = {"bytes_sent": int(rt.stats.bytes_sent.sum())}
+    stats_snap = rt.stats.snapshot()
+    extra: dict[str, Any] = {
+        "bytes_sent": stats_snap.total_bytes_sent,
+        "msgs_sent": stats_snap.total_msgs_sent,
+        "wire_bytes": stats_snap.wire_bytes,
+        "collective_calls": stats_snap.total_collective_calls,
+        "wall_s": wall_s,
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
     if faults is not None:
         extra["faults"] = rt.fault_stats.summary()
     if plan is not None and results:
         extra["plan_id"] = results[0]["plan_id"]
         extra["plan_algo"] = results[0]["plan_algo"]
         extra["plan_cache_hit"] = bool(results[0]["cache_hit"])
+    if metrics is not None:
+        from ..metrics import collect_phases, collect_runtime, collect_trace
+
+        labels = dict(metrics_labels or {})
+        collect_runtime(metrics, rt, labels=labels)
+        collect_phases(metrics, phases, labels=labels)
+        if rt.trace is not None:
+            collect_trace(metrics, rt.trace, labels=labels)
     return TrialResult(
         total=rt.elapsed(),
         phases=phases,

@@ -1,0 +1,50 @@
+"""Typed metrics over the virtual-clock runtime (the perf observatory's
+measurement half).
+
+Three layers:
+
+- registry — :class:`MetricsRegistry` with counter / gauge / histogram
+  families, fixed label-name tuples, and exponential virtual-time buckets
+  (:mod:`repro.metrics.registry`);
+- collectors — feed a registry from :meth:`repro.mpi.Stats.snapshot`,
+  finished trace spans, and sort phase dictionaries, strictly post-hoc so
+  observed runs stay bit-identical to unobserved ones
+  (:mod:`repro.metrics.collect`);
+- exposition — deterministic Prometheus text and JSON renderings
+  (:mod:`repro.metrics.expose`).
+
+The benchmark harness threads a registry through trials
+(``run_sort_trial(metrics=...)``), and :mod:`repro.perf` reads traffic
+totals out of it when building ``BENCH_*.json`` snapshot cells.
+"""
+
+from .collect import collect_phases, collect_runtime, collect_trace
+from .expose import to_json, to_prometheus, write_json, write_prometheus
+from .registry import (
+    BYTES_BUCKETS,
+    TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    exponential_buckets,
+)
+
+__all__ = [
+    "BYTES_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "TIME_BUCKETS",
+    "collect_phases",
+    "collect_runtime",
+    "collect_trace",
+    "exponential_buckets",
+    "to_json",
+    "to_prometheus",
+    "write_json",
+    "write_prometheus",
+]

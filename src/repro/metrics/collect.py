@@ -1,0 +1,174 @@
+"""Collectors: feed a registry from runtime stats, trace spans, and phases.
+
+Collection is strictly *post-hoc*: every function here reads finished,
+immutable state — a :class:`~repro.mpi.StatsSnapshot`, the span list of a
+completed :class:`~repro.trace.TraceRecorder`, a phase dictionary produced
+by :class:`~repro.trace.PhaseTimer` — and never calls into a live rank or
+advances a clock.  That is the non-perturbation guarantee: attaching a
+registry to a run (e.g. via ``run_sort_trial(metrics=...)``) leaves the
+run bit-identical to an unobserved one.
+
+``labels`` is the caller's identity for the run being observed — the
+conventional keys are ``algo``, ``dist``, ``machine``, ``plan_id`` — and
+becomes part of every family's label-name tuple, alongside intrinsic
+labels (``op`` for collectives, ``phase`` for phase times, ``cat`` for
+trace spans).  One registry can therefore accumulate many runs and stay
+queryable per run, per algorithm, or in aggregate.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping
+
+from .registry import BYTES_BUCKETS, TIME_BUCKETS, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..mpi.runtime import Runtime
+    from ..trace.events import TraceRecorder
+
+__all__ = ["collect_runtime", "collect_phases", "collect_trace"]
+
+
+def _base(labels: Mapping[str, Any] | None) -> dict[str, str]:
+    return {k: str(v) for k, v in (labels or {}).items()}
+
+
+def collect_runtime(
+    registry: MetricsRegistry,
+    runtime: "Runtime",
+    *,
+    labels: Mapping[str, Any] | None = None,
+) -> None:
+    """Fold a finished runtime's statistics into ``registry``.
+
+    Emits traffic counters (bytes on wire, message and collective-call
+    counts), the modelled makespan gauge, and per-rank virtual-time /
+    bytes histograms — everything sourced from one consistent
+    :meth:`~repro.mpi.Stats.snapshot`.
+    """
+    base = _base(labels)
+    names = tuple(base)
+    snap = runtime.stats.snapshot()
+
+    registry.counter(
+        "repro_bytes_on_wire_total",
+        "Payload bytes on the wire: point-to-point plus collective payloads",
+        names,
+    ).labels(**base).inc(snap.wire_bytes)
+    registry.counter(
+        "repro_p2p_bytes_total", "Point-to-point payload bytes sent by all ranks", names
+    ).labels(**base).inc(snap.total_bytes_sent)
+    registry.counter(
+        "repro_messages_total",
+        "Messages on the wire: point-to-point sends plus collective calls",
+        names,
+    ).labels(**base).inc(snap.total_msgs_sent + snap.total_collective_calls)
+    registry.counter(
+        "repro_compute_seconds_total", "Virtual compute seconds over all ranks", names
+    ).labels(**base).inc(snap.total_compute_time)
+    registry.counter(
+        "repro_runs_total", "Observed runtime executions", names
+    ).labels(**base).inc()
+    registry.gauge(
+        "repro_makespan_seconds", "Modelled makespan (max rank clock) of the last run", names
+    ).labels(**base).set(runtime.elapsed())
+    registry.gauge(
+        "repro_ranks", "World size of the last observed run", names
+    ).labels(**base).set(runtime.size)
+
+    coll_names = names + ("op",)
+    calls = registry.counter(
+        "repro_collective_calls_total", "Collective invocations by operation", coll_names
+    )
+    cbytes = registry.counter(
+        "repro_collective_bytes_total", "Collective payload bytes by operation", coll_names
+    )
+    cranks = registry.counter(
+        "repro_collective_rank_participations_total",
+        "Summed participant counts by operation (ranks / calls = mean comm size)",
+        coll_names,
+    )
+    for op, (n_calls, n_bytes, n_ranks) in snap.collectives.items():
+        calls.labels(op=op, **base).inc(n_calls)
+        cbytes.labels(op=op, **base).inc(n_bytes)
+        cranks.labels(op=op, **base).inc(n_ranks)
+
+    clock_hist = registry.histogram(
+        "repro_rank_clock_seconds",
+        "Per-rank final virtual clocks",
+        names,
+        buckets=TIME_BUCKETS,
+    ).labels(**base)
+    bytes_hist = registry.histogram(
+        "repro_rank_bytes_sent",
+        "Per-rank payload bytes sent",
+        names,
+        buckets=BYTES_BUCKETS,
+    ).labels(**base)
+    for rank in range(snap.size):
+        clock_hist.observe(float(runtime.clocks[rank]))
+        bytes_hist.observe(float(snap.bytes_sent[rank]))
+
+
+def collect_phases(
+    registry: MetricsRegistry,
+    phases: Mapping[str, float],
+    *,
+    labels: Mapping[str, Any] | None = None,
+) -> None:
+    """Observe one run's phase breakdown (seconds per named phase).
+
+    ``phases`` is a :class:`~repro.trace.PhaseTimer` / ``combine_phases``
+    dictionary — the sort phase boundaries recorded by
+    ``core/histsort.py`` (and the overlap path's fused exchange+merge).
+    Each value lands in both a virtual-time histogram (distribution over
+    runs) and a running counter (total attribution).
+    """
+    base = _base(labels)
+    names = tuple(base) + ("phase",)
+    hist = registry.histogram(
+        "repro_phase_seconds",
+        "Virtual seconds per sort phase and run (max over ranks)",
+        names,
+        buckets=TIME_BUCKETS,
+    )
+    total = registry.counter(
+        "repro_phase_seconds_total", "Accumulated virtual seconds per sort phase", names
+    )
+    for phase, seconds in phases.items():
+        hist.labels(phase=phase, **base).observe(float(seconds))
+        total.labels(phase=phase, **base).inc(max(float(seconds), 0.0))
+
+
+def collect_trace(
+    registry: MetricsRegistry,
+    recorder: "TraceRecorder",
+    *,
+    labels: Mapping[str, Any] | None = None,
+) -> None:
+    """Aggregate a trace recorder's finished spans by category.
+
+    Span durations feed virtual-time histograms and idle time a counter,
+    which is the cheap always-exportable summary of a trace too large to
+    ship whole.
+    """
+    base = _base(labels)
+    names = tuple(base) + ("cat",)
+    dur = registry.histogram(
+        "repro_span_seconds",
+        "Virtual-time span durations by category",
+        names,
+        buckets=TIME_BUCKETS,
+    )
+    idle = registry.counter(
+        "repro_span_idle_seconds_total",
+        "Blocked virtual seconds inside spans, by category",
+        names,
+    )
+    span_bytes = registry.counter(
+        "repro_span_bytes_total", "Payload bytes attributed to spans, by category", names
+    )
+    for span in recorder.spans():
+        dur.labels(cat=span.cat, **base).observe(span.duration)
+        idle.labels(cat=span.cat, **base).inc(span.idle)
+        span_bytes.labels(cat=span.cat, **base).inc(span.nbytes)

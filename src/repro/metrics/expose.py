@@ -1,0 +1,99 @@
+"""Exposition: Prometheus text format and JSON for a metrics registry.
+
+Both renderers are deterministic — families ordered by name, children by
+label values, floats via ``repr`` (shortest round-trip form) — so that two
+registries fed the same virtual-time run render byte-identical output.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .registry import MetricsRegistry
+
+__all__ = ["to_prometheus", "to_json", "write_prometheus", "write_json"]
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labelstr(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in labels.items())
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: "MetricsRegistry") -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4)."""
+    lines: list[str] = []
+    for fam in registry.collect():
+        lines.append(f"# HELP {fam.name} {_escape(fam.help)}")
+        lines.append(f"# TYPE {fam.name} {fam.type}")
+        for labels, child in fam.samples():
+            if fam.type == "histogram":
+                for le, cum in child.cumulative():
+                    blabels = dict(labels)
+                    blabels["le"] = _fmt(le)
+                    lines.append(f"{fam.name}_bucket{_labelstr(blabels)} {cum}")
+                lines.append(f"{fam.name}_sum{_labelstr(labels)} {_fmt(child.sum)}")
+                lines.append(f"{fam.name}_count{_labelstr(labels)} {child.count}")
+            else:
+                lines.append(f"{fam.name}{_labelstr(labels)} {_fmt(child.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json(registry: "MetricsRegistry") -> dict[str, Any]:
+    """The registry as a plain JSON-serializable dictionary."""
+    families = []
+    for fam in registry.collect():
+        samples: list[dict[str, Any]] = []
+        for labels, child in fam.samples():
+            if fam.type == "histogram":
+                samples.append(
+                    {
+                        "labels": labels,
+                        "buckets": {
+                            _fmt(le): cum for le, cum in child.cumulative()
+                        },
+                        "sum": child.sum,
+                        "count": child.count,
+                    }
+                )
+            else:
+                samples.append({"labels": labels, "value": child.value})
+        families.append(
+            {
+                "name": fam.name,
+                "type": fam.type,
+                "help": fam.help,
+                "labelnames": list(fam.labelnames),
+                "samples": samples,
+            }
+        )
+    return {"metrics": families}
+
+
+def write_prometheus(path: str | Path, registry: "MetricsRegistry") -> Path:
+    path = Path(path)
+    path.write_text(to_prometheus(registry))
+    return path
+
+
+def write_json(path: str | Path, registry: "MetricsRegistry") -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(to_json(registry), indent=2, sort_keys=True))
+    return path

@@ -39,7 +39,7 @@ from .payload import copy_payload, payload_nbytes
 from .reliable import DEFAULT_POLICY, RetryPolicy, reliable_recv, reliable_send
 from .requests import Request, waitall
 from .resilient import ResilientComm
-from .runtime import Runtime, Stats, run_spmd
+from .runtime import Runtime, Stats, StatsSnapshot, run_spmd
 
 __all__ = [
     "ANY_SOURCE",
@@ -69,6 +69,7 @@ __all__ = [
     "SPMDError",
     "SUM",
     "Stats",
+    "StatsSnapshot",
     "copy_payload",
     "payload_nbytes",
     "reliable_recv",

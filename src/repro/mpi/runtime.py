@@ -20,6 +20,7 @@ import os
 import threading
 import warnings
 from collections import defaultdict
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -42,13 +43,59 @@ def _sanitize_default() -> bool:
     return os.environ.get("REPRO_SANITIZE", "").strip().lower() not in ("", "0", "false")
 
 
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """An immutable point-in-time copy of a :class:`Stats` object.
+
+    Per-rank arrays are copies (safe to keep across :meth:`Runtime.reset`),
+    and ``collectives`` maps operation name to ``(calls, payload bytes,
+    participant-ranks total)``.  This is the one sanctioned way to read the
+    statistics of a live runtime: every field is captured under the stats
+    lock in a single critical section, so the snapshot is internally
+    consistent even while ranks are still communicating.
+    """
+
+    size: int
+    bytes_sent: np.ndarray
+    msgs_sent: np.ndarray
+    compute_time: np.ndarray
+    collectives: dict[str, tuple[int, float, int]]
+
+    @property
+    def total_bytes_sent(self) -> int:
+        return int(self.bytes_sent.sum())
+
+    @property
+    def total_msgs_sent(self) -> int:
+        return int(self.msgs_sent.sum())
+
+    @property
+    def total_compute_time(self) -> float:
+        return float(self.compute_time.sum())
+
+    @property
+    def total_collective_bytes(self) -> float:
+        return float(sum(v[1] for v in self.collectives.values()))
+
+    @property
+    def total_collective_calls(self) -> int:
+        return int(sum(v[0] for v in self.collectives.values()))
+
+    @property
+    def wire_bytes(self) -> float:
+        """Bytes on wire: point-to-point payloads plus collective payloads
+        (the two are disjoint counters — see :meth:`Stats.record_send` vs
+        :meth:`Stats.record_collective`)."""
+        return float(self.total_bytes_sent) + self.total_collective_bytes
+
+
 class Stats:
     """Per-rank and aggregate communication statistics.
 
     All mutators take ``_lock``: ranks are concurrent threads and the
     counters must stay exact under interleaved sends, computes, and
-    collectives (snapshots — :class:`repro.trace.TrafficSnapshot` — read
-    under the same lock).
+    collectives.  Readers go through :meth:`snapshot`, which copies
+    everything under the same lock.
     """
 
     def __init__(self, size: int):
@@ -76,18 +123,29 @@ class Stats:
             entry[1] += total_bytes
             entry[2] += nranks
 
-    def summary(self) -> dict[str, Any]:
-        """Aggregate view; ``collectives`` maps name -> (calls, bytes, ranks)."""
+    def snapshot(self) -> StatsSnapshot:
+        """A consistent, immutable copy of every counter (public read API)."""
         with self._lock:
-            return {
-                "bytes_sent": int(self.bytes_sent.sum()),
-                "msgs_sent": int(self.msgs_sent.sum()),
-                "compute_time_max": float(self.compute_time.max(initial=0.0)),
-                "collectives": {
+            return StatsSnapshot(
+                size=self.size,
+                bytes_sent=self.bytes_sent.copy(),
+                msgs_sent=self.msgs_sent.copy(),
+                compute_time=self.compute_time.copy(),
+                collectives={
                     k: (int(v[0]), float(v[1]), int(v[2]))
                     for k, v in sorted(self.collectives.items())
                 },
-            }
+            )
+
+    def summary(self) -> dict[str, Any]:
+        """Aggregate view; ``collectives`` maps name -> (calls, bytes, ranks)."""
+        snap = self.snapshot()
+        return {
+            "bytes_sent": snap.total_bytes_sent,
+            "msgs_sent": snap.total_msgs_sent,
+            "compute_time_max": float(snap.compute_time.max(initial=0.0)),
+            "collectives": dict(snap.collectives),
+        }
 
 
 class Runtime:

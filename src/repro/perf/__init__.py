@@ -1,0 +1,57 @@
+"""Benchmark snapshots and the CI regression gate (the perf observatory's
+trajectory half).
+
+``BENCH_<NNNN>.json`` files at the repository root are the committed
+performance trajectory: one schema-versioned snapshot per PR, each cell
+of a fixed (algorithm, distribution, machine preset, rank count) grid
+recording measured virtual-clock makespans with confidence intervals,
+modelled makespans with per-phase model-vs-measured attribution, traffic
+totals from :mod:`repro.metrics`, and the simulator's own wall-clock /
+memory overhead.
+
+``python -m repro.perf`` drives it: ``run`` writes the next snapshot,
+``compare`` diffs two files, ``gate`` re-measures the working tree
+against the latest committed baseline and exits nonzero on a regression
+(new median beyond the baseline's 95% CI plus a threshold) with the
+per-phase attribution printed, and ``report`` renders a snapshot as a
+table.  See :mod:`repro.perf.snapshot` for the schema and
+:mod:`repro.perf.compare` for the decision rule.
+"""
+
+from .compare import (
+    DEFAULT_THRESHOLD,
+    CellDelta,
+    PerfComparison,
+    compare_snapshots,
+)
+from .snapshot import (
+    PRESETS,
+    SCHEMA_VERSION,
+    SUITES,
+    CellSpec,
+    SnapshotFormatError,
+    latest_bench_path,
+    load_snapshot,
+    next_bench_path,
+    run_cell,
+    run_suite,
+    write_snapshot,
+)
+
+__all__ = [
+    "CellDelta",
+    "CellSpec",
+    "DEFAULT_THRESHOLD",
+    "PRESETS",
+    "PerfComparison",
+    "SCHEMA_VERSION",
+    "SUITES",
+    "SnapshotFormatError",
+    "compare_snapshots",
+    "latest_bench_path",
+    "load_snapshot",
+    "next_bench_path",
+    "run_cell",
+    "run_suite",
+    "write_snapshot",
+]

@@ -1,0 +1,365 @@
+"""Benchmark snapshots: the curated suite behind ``BENCH_<NNNN>.json``.
+
+A *snapshot* is one durable point on the repository's performance
+trajectory: a fixed grid of (algorithm, distribution, machine preset,
+rank count) cells, each executed through :func:`repro.bench.harness.
+repeat_sort_trials` and recorded with
+
+* the **measured** virtual-clock makespan (median + 95% CI over seeds,
+  via :func:`~repro.bench.harness.median_ci`),
+* the **modelled** makespan and per-phase times from
+  :mod:`repro.model.phases`, evaluated with the *measured* round count
+  (:func:`repro.model.calibrate.fit_round_count`),
+* the model-vs-measured attribution — per-phase ratios plus the robust
+  time-scale correction (:func:`repro.model.calibrate.fit_time_scale`,
+  the same statistic :mod:`repro.tune.feedback` folds into plan scoring),
+* traffic totals (bytes on wire, message and collective-call counts)
+  read from a :class:`repro.metrics.MetricsRegistry` fed by the harness,
+* and the simulation overhead itself (wall-clock seconds, peak RSS).
+
+Snapshots are schema-versioned; :func:`load_snapshot` refuses files whose
+``schema_version`` it does not understand, so ``repro.perf compare`` never
+silently compares incompatible records.  Virtual time is deterministic
+per seed, which is what makes a committed snapshot a *reproducible*
+baseline: re-running the suite at the same tree must land inside the
+committed CI (and exactly on the median, on identical float hardware).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from .. import __version__
+from ..bench.harness import peak_rss_bytes, repeat_sort_trials
+from ..core import SortConfig
+from ..machine import MachineSpec, abstract_cluster, laptop, supermuc_phase2
+from ..metrics import MetricsRegistry
+from ..model.calibrate import fit_round_count, fit_time_scale
+from ..model.phases import predict_histsort, predict_hss, predict_samplesort
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SNAPSHOT_KIND",
+    "CellSpec",
+    "PRESETS",
+    "SUITES",
+    "SnapshotFormatError",
+    "run_cell",
+    "run_suite",
+    "load_snapshot",
+    "write_snapshot",
+    "next_bench_path",
+    "latest_bench_path",
+]
+
+#: bump on any incompatible change to the cell record layout
+SCHEMA_VERSION = 1
+
+SNAPSHOT_KIND = "repro-perf-snapshot"
+
+_BENCH_RE = re.compile(r"^BENCH_(\d{4})\.json$")
+
+
+class SnapshotFormatError(ValueError):
+    """A snapshot file is missing, malformed, or of an unknown schema."""
+
+
+#: machine presets a cell can name (factories, so specs stay immutable)
+PRESETS: dict[str, Callable[[], MachineSpec]] = {
+    "abstract2": lambda: abstract_cluster(2, cores_per_node=8),
+    "abstract4": lambda: abstract_cluster(4, cores_per_node=8),
+    "laptop8": lambda: laptop(8),
+    "supermuc1": lambda: supermuc_phase2(nodes=1),
+}
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One point of the snapshot grid."""
+
+    algo: str
+    dist: str
+    preset: str
+    p: int
+    n_per_rank: int
+    ranks_per_node: int | None = None
+    overlap: bool = False
+    config_kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def cell_id(self) -> str:
+        algo = self.algo + ("+overlap" if self.overlap else "")
+        return f"{algo}/{self.dist}/{self.preset}/p{self.p}"
+
+    def machine(self) -> MachineSpec:
+        try:
+            return PRESETS[self.preset]()
+        except KeyError:
+            raise KeyError(
+                f"unknown preset {self.preset!r}; available: {sorted(PRESETS)}"
+            ) from None
+
+    def sort_config(self) -> SortConfig:
+        return SortConfig(overlap_exchange=self.overlap, **dict(self.config_kwargs))
+
+
+#: the committed grids.  ``default`` is the per-PR snapshot (and the CI
+#: gate's workload); ``quick`` is a two-cell smoke grid for tests.
+SUITES: dict[str, tuple[CellSpec, ...]] = {
+    "default": (
+        CellSpec("dash", "uniform_u64", "abstract2", p=8, n_per_rank=4096, ranks_per_node=4),
+        CellSpec("dash", "zipf_u64", "abstract2", p=8, n_per_rank=4096, ranks_per_node=4),
+        CellSpec("dash", "uniform_u64", "supermuc1", p=8, n_per_rank=4096, ranks_per_node=8),
+        CellSpec("dash", "uniform_u64", "abstract4", p=16, n_per_rank=2048, ranks_per_node=4),
+        CellSpec(
+            "dash", "uniform_u64", "abstract2", p=8, n_per_rank=4096,
+            ranks_per_node=4, overlap=True,
+        ),
+        CellSpec("hss", "uniform_u64", "abstract2", p=8, n_per_rank=4096, ranks_per_node=4),
+        CellSpec("sample_sort", "uniform_u64", "abstract2", p=8, n_per_rank=4096, ranks_per_node=4),
+        CellSpec("psrs", "uniform_u64", "abstract2", p=8, n_per_rank=4096, ranks_per_node=4),
+    ),
+    "quick": (
+        CellSpec("dash", "uniform_u64", "abstract2", p=4, n_per_rank=1024, ranks_per_node=2),
+        CellSpec("hss", "uniform_u64", "abstract2", p=4, n_per_rank=1024, ranks_per_node=2),
+    ),
+}
+
+
+def _predict_cell(spec: CellSpec, trials) -> dict[str, Any] | None:
+    """Closed-form prediction for a cell, with measured round counts.
+
+    Returns ``None`` for algorithms without a closed form (their cells
+    still track measured trends; ``model_error`` is simply absent).
+    """
+    machine = spec.machine()
+    n_total = spec.p * spec.n_per_rank
+    rpn = spec.ranks_per_node or machine.node.cores
+    common = dict(ranks_per_node=rpn, itemsize=8)
+    if spec.algo == "dash":
+        pred = predict_histsort(
+            machine, n_total, spec.p, rounds=fit_round_count(trials),
+            merge_strategy=spec.sort_config().merge_strategy, **common,
+        )
+    elif spec.algo == "hss":
+        pred = predict_hss(
+            machine, n_total, spec.p, rounds=fit_round_count(trials),
+            cand_per_round=12.0 * spec.p, **common,
+        )
+    elif spec.algo == "sample_sort":
+        pred = predict_samplesort(machine, n_total, spec.p, **common)
+    else:
+        return None
+    return {"total_s": pred.total, "phases_s": pred.as_dict()}
+
+
+def _phase_median(trials) -> dict[str, float]:
+    """Per-phase median across trials (robust attribution input)."""
+    names: list[str] = []
+    for t in trials:
+        for name in t.phases:
+            if name not in names:
+                names.append(name)
+    out: dict[str, float] = {}
+    for name in names:
+        vals = sorted(t.phases.get(name, 0.0) for t in trials)
+        mid = len(vals) // 2
+        med = vals[mid] if len(vals) % 2 else 0.5 * (vals[mid - 1] + vals[mid])
+        out[name] = float(med)
+    return out
+
+
+def _model_error(modelled: dict[str, Any] | None, phases: dict[str, float],
+                 totals: list[float]) -> dict[str, Any] | None:
+    if modelled is None or modelled["total_s"] <= 0:
+        return None
+    per_phase = {
+        name: (phases.get(name, 0.0) / pred if pred > 0 else None)
+        for name, pred in modelled["phases_s"].items()
+    }
+    return {
+        "time_scale": fit_time_scale(totals, [modelled["total_s"]] * len(totals)),
+        "total_ratio": (sum(phases.values()) / modelled["total_s"]),
+        "per_phase_ratio": per_phase,
+    }
+
+
+def run_cell(
+    spec: CellSpec,
+    *,
+    repeats: int = 3,
+    warmup: int = 1,
+    seed0: int = 100,
+) -> dict[str, Any]:
+    """Execute one grid cell and build its snapshot record."""
+    registry = MetricsRegistry()
+    labels = {"algo": spec.algo, "dist": spec.dist, "machine": spec.preset}
+    stats, trials = repeat_sort_trials(
+        spec.p,
+        spec.n_per_rank,
+        repeats=repeats,
+        warmup=warmup,
+        seed0=seed0,
+        algo=spec.algo,
+        dist=spec.dist,
+        machine=spec.machine(),
+        ranks_per_node=spec.ranks_per_node,
+        config=spec.sort_config(),
+        metrics=registry,
+        metrics_labels=labels,
+    )
+    runs = registry.value("repro_runs_total")  # warmup + repeats
+    coll_calls: dict[str, float] = {}
+    fam = registry.get("repro_collective_calls_total")
+    if fam is not None:
+        for lab, child in fam.samples():
+            coll_calls[lab["op"]] = coll_calls.get(lab["op"], 0.0) + child.value
+    phases = _phase_median(trials)
+    modelled = _predict_cell(spec, trials)
+    totals = [t.total for t in trials]
+    return {
+        "id": spec.cell_id,
+        "algo": spec.algo,
+        "dist": spec.dist,
+        "preset": spec.preset,
+        "machine": spec.machine().name,
+        "p": spec.p,
+        "n_per_rank": spec.n_per_rank,
+        "ranks_per_node": spec.ranks_per_node,
+        "overlap": spec.overlap,
+        "repeats": repeats,
+        "warmup": warmup,
+        "seed0": seed0,
+        "measured": {
+            "median_s": stats.median,
+            "ci_low_s": stats.ci_low,
+            "ci_high_s": stats.ci_high,
+            "n": stats.n,
+            "values_s": list(stats.values),
+        },
+        "phases_s": phases,
+        "rounds": int(max(t.rounds for t in trials)),
+        "modelled": modelled,
+        "model_error": _model_error(modelled, phases, totals),
+        "traffic": {
+            "wire_bytes_per_run": registry.value("repro_bytes_on_wire_total") / runs,
+            "p2p_bytes_per_run": registry.value("repro_p2p_bytes_total") / runs,
+            "messages_per_run": registry.value("repro_messages_total") / runs,
+            "collective_calls_per_run": {
+                op: n / runs for op, n in sorted(coll_calls.items())
+            },
+        },
+        "sim": {
+            "wall_s_per_run": sum(t.extra["wall_s"] for t in trials) / len(trials),
+            "peak_rss_bytes": peak_rss_bytes(),
+        },
+    }
+
+
+def run_suite(
+    suite: str = "default",
+    *,
+    repeats: int = 3,
+    warmup: int = 1,
+    seed0: int = 100,
+    label: str | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, Any]:
+    """Run every cell of ``suite`` and assemble a snapshot document."""
+    try:
+        specs = SUITES[suite]
+    except KeyError:
+        raise KeyError(f"unknown suite {suite!r}; available: {sorted(SUITES)}") from None
+    cells: dict[str, Any] = {}
+    for spec in specs:
+        if progress is not None:
+            progress(f"running {spec.cell_id} ...")
+        cells[spec.cell_id] = run_cell(
+            spec, repeats=repeats, warmup=warmup, seed0=seed0
+        )
+    return {
+        "kind": SNAPSHOT_KIND,
+        "schema_version": SCHEMA_VERSION,
+        "suite": suite,
+        "label": label,
+        "repro_version": __version__,
+        "repeats": repeats,
+        "warmup": warmup,
+        "seed0": seed0,
+        "cells": cells,
+    }
+
+
+def write_snapshot(snapshot: Mapping[str, Any], path: str | Path) -> Path:
+    path = Path(path)
+    doc = dict(snapshot)
+    if doc.get("label") is None:
+        doc["label"] = path.stem
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_snapshot(path: str | Path) -> dict[str, Any]:
+    """Read and validate a snapshot; raises :class:`SnapshotFormatError`."""
+    path = Path(path)
+    if not path.exists():
+        raise SnapshotFormatError(f"snapshot file not found: {path}")
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SnapshotFormatError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("kind") != SNAPSHOT_KIND:
+        raise SnapshotFormatError(
+            f"{path} is not a {SNAPSHOT_KIND} document (kind={doc.get('kind')!r})"
+        )
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SnapshotFormatError(
+            f"{path} has schema_version {version!r}, this build reads "
+            f"{SCHEMA_VERSION}; re-run `python -m repro.perf run` to regenerate"
+        )
+    if not isinstance(doc.get("cells"), dict):
+        raise SnapshotFormatError(f"{path} has no cells mapping")
+    return doc
+
+
+def _bench_files(directory: str | Path) -> list[tuple[int, Path]]:
+    out = []
+    if not Path(directory).is_dir():
+        return out
+    for p in Path(directory).iterdir():
+        m = _BENCH_RE.match(p.name)
+        if m:
+            out.append((int(m.group(1)), p))
+    return sorted(out)
+
+
+def latest_bench_path(directory: str | Path = ".") -> Path | None:
+    """Highest-numbered ``BENCH_NNNN.json`` in ``directory`` (None if none)."""
+    files = _bench_files(directory)
+    return files[-1][1] if files else None
+
+
+def next_bench_path(directory: str | Path = ".") -> Path:
+    """The next free ``BENCH_NNNN.json`` slot in ``directory``."""
+    files = _bench_files(directory)
+    n = files[-1][0] + 1 if files else 1
+    return Path(directory) / f"BENCH_{n:04d}.json"
+
+
+def cell_median(cell: Mapping[str, Any]) -> float:
+    """A cell's measured median, NaN when absent or non-numeric."""
+    try:
+        value = cell["measured"]["median_s"]
+    except (KeyError, TypeError):
+        return math.nan
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        return math.nan
+    return value

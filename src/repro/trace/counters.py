@@ -29,19 +29,13 @@ class TrafficSnapshot:
 
     @classmethod
     def capture(cls, runtime: "Runtime") -> "TrafficSnapshot":
-        stats = runtime.stats
-        with stats._lock:
-            calls = {k: int(v[0]) for k, v in stats.collectives.items()}
-            coll = {k: float(v[1]) for k, v in stats.collectives.items()}
-            ranks = {k: int(v[2]) for k, v in stats.collectives.items()}
-            bytes_sent = int(stats.bytes_sent.sum())
-            msgs_sent = int(stats.msgs_sent.sum())
+        snap = runtime.stats.snapshot()
         return cls(
-            bytes_sent=bytes_sent,
-            msgs_sent=msgs_sent,
-            collective_bytes=coll,
-            collective_calls=calls,
-            collective_ranks=ranks,
+            bytes_sent=snap.total_bytes_sent,
+            msgs_sent=snap.total_msgs_sent,
+            collective_bytes={k: v[1] for k, v in snap.collectives.items()},
+            collective_calls={k: v[0] for k, v in snap.collectives.items()},
+            collective_ranks={k: v[2] for k, v in snap.collectives.items()},
         )
 
     def diff(self, earlier: "TrafficSnapshot") -> "TrafficSnapshot":

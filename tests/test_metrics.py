@@ -1,0 +1,279 @@
+"""Metrics registry: types, labels, exposition, collectors, non-perturbation."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import run_sort_trial
+from repro.core import histogram_sort
+from repro.data import make_partition
+from repro.machine import abstract_cluster
+from repro.metrics import (
+    BYTES_BUCKETS,
+    TIME_BUCKETS,
+    MetricsRegistry,
+    collect_phases,
+    collect_runtime,
+    collect_trace,
+    exponential_buckets,
+    to_json,
+    to_prometheus,
+)
+from repro.mpi import StatsSnapshot, run_spmd
+from repro.trace import TrafficSnapshot
+
+from .conftest import spmd
+
+
+def _sort_prog(comm, n, seed):
+    local = make_partition("uniform_u64", n, rank=comm.rank, seed=seed)
+    res = histogram_sort(comm, local)
+    return {"output": res.output, "phases": res.phases, "clock": comm.clock}
+
+
+class TestRegistry:
+    def test_counter_monotone(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total", "help").default()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g", "help").default()
+        g.set(4.0)
+        g.inc()
+        g.dec(2.0)
+        assert g.value == 3.0
+
+    def test_histogram_buckets_and_overflow(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h_seconds", "help", buckets=(1.0, 10.0, 100.0)).default()
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(555.5)
+        cum = dict(h.cumulative())
+        assert cum[1.0] == 1 and cum[10.0] == 2 and cum[100.0] == 3
+        assert cum[float("inf")] == 4
+        with pytest.raises(ValueError):
+            h.observe(float("nan"))
+
+    def test_exponential_buckets(self):
+        buckets = exponential_buckets(1e-6, 4.0, 5)
+        assert buckets == (1e-6, 4e-6, 16e-6, 64e-6, 256e-6)
+        with pytest.raises(ValueError):
+            exponential_buckets(0.0, 4.0, 5)
+        with pytest.raises(ValueError):
+            exponential_buckets(1.0, 1.0, 5)
+        assert len(TIME_BUCKETS) == 17 and len(BYTES_BUCKETS) == 14
+
+    def test_labels_create_children_and_validate(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("traffic_total", "help", labelnames=("algo", "phase"))
+        fam.labels(algo="dash", phase="exchange").inc(5)
+        fam.labels(algo="hss", phase="exchange").inc(7)
+        assert fam.total() == 12
+        with pytest.raises(ValueError):
+            fam.labels(algo="dash")  # missing label
+        with pytest.raises(ValueError):
+            fam.labels(algo="dash", phase="x", extra="y")
+        with pytest.raises(ValueError):
+            fam.default()  # labelled family has no default child
+
+    def test_redeclaration_idempotent_but_mismatch_raises(self):
+        reg = MetricsRegistry()
+        a = reg.counter("n_total", "help", labelnames=("algo",))
+        b = reg.counter("n_total", "help", labelnames=("algo",))
+        assert a is b
+        with pytest.raises(ValueError):
+            reg.gauge("n_total", "help", labelnames=("algo",))
+        with pytest.raises(ValueError):
+            reg.counter("n_total", "other help", labelnames=("algo",))
+        with pytest.raises(ValueError):
+            reg.counter("n_total", "help", labelnames=("machine",))
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("bad name", "help")
+        with pytest.raises(ValueError):
+            reg.counter("ok_total", "help", labelnames=("bad-label",))
+
+    def test_value_lookup(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "h", ("k",)).labels(k="x").inc(3)
+        reg.counter("a_total", "h", ("k",)).labels(k="y").inc(4)
+        assert reg.value("a_total") == 7
+        assert reg.value("a_total", {"k": "x"}) == 3
+        with pytest.raises(KeyError):
+            reg.value("missing_total")
+
+
+class TestExposition:
+    def _loaded(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "a \"quoted\"\nhelp", ("algo",)).labels(algo="dash").inc(2)
+        reg.gauge("g_seconds", "gauge", ()).default().set(1.5)
+        reg.histogram("h_seconds", "hist", ("phase",), buckets=(0.1, 1.0)).labels(
+            phase="exchange"
+        ).observe(0.5)
+        return reg
+
+    def test_prometheus_text_shape(self):
+        text = self._loaded().to_prometheus()
+        assert '# TYPE c_total counter' in text
+        assert 'c_total{algo="dash"} 2' in text
+        assert 'g_seconds 1.5' in text
+        assert 'h_seconds_bucket{phase="exchange",le="+Inf"} 1' in text
+        assert 'h_seconds_sum{phase="exchange"} 0.5' in text
+        assert 'h_seconds_count{phase="exchange"} 1' in text
+        assert '\\n' in text  # escaped newline in help
+        # families render in sorted name order
+        assert text.index("c_total") < text.index("g_seconds") < text.index("h_seconds")
+
+    def test_prometheus_deterministic(self):
+        assert self._loaded().to_prometheus() == self._loaded().to_prometheus()
+
+    def test_json_serializable_roundtrip(self):
+        doc = to_json(self._loaded())
+        parsed = json.loads(json.dumps(doc))
+        names = [f["name"] for f in parsed["metrics"]]
+        assert names == sorted(names)
+        hist = next(f for f in parsed["metrics"] if f["name"] == "h_seconds")
+        assert hist["samples"][0]["buckets"]["+Inf"] == 1
+
+    def test_empty_registry_renders_empty(self):
+        reg = MetricsRegistry()
+        assert to_prometheus(reg) == ""
+        assert to_json(reg) == {"metrics": []}
+
+
+class TestCollectors:
+    def _run(self, p=8, n=512):
+        return spmd(p, _sort_prog, n, 3, trace=True, return_runtime=True)
+
+    def test_collect_runtime_matches_stats(self):
+        _, rt = self._run()
+        reg = MetricsRegistry()
+        collect_runtime(reg, rt, labels={"algo": "dash", "machine": "abstract"})
+        snap = rt.stats.snapshot()
+        assert reg.value("repro_bytes_on_wire_total") == snap.wire_bytes
+        assert reg.value("repro_p2p_bytes_total") == snap.total_bytes_sent
+        assert (
+            reg.value("repro_messages_total")
+            == snap.total_msgs_sent + snap.total_collective_calls
+        )
+        assert reg.value("repro_makespan_seconds", {"algo": "dash", "machine": "abstract"}) == rt.elapsed()
+        calls = reg.get("repro_collective_calls_total")
+        ops = {lab["op"] for lab, _ in calls.samples()}
+        assert "allreduce" in ops and "alltoallv" in ops
+        hist = reg.get("repro_rank_clock_seconds").labels(algo="dash", machine="abstract")
+        assert hist.count == rt.size
+
+    def test_collect_phases_histogram_and_total(self):
+        results, _ = self._run(p=4)
+        reg = MetricsRegistry()
+        phases = results[0]["phases"]
+        collect_phases(reg, phases, labels={"algo": "dash"})
+        for name, seconds in phases.items():
+            child = reg.get("repro_phase_seconds").labels(algo="dash", phase=name)
+            assert child.count == 1
+            assert child.sum == seconds
+        assert reg.value("repro_phase_seconds_total") == pytest.approx(
+            sum(max(v, 0.0) for v in phases.values())
+        )
+
+    def test_collect_trace_spans(self):
+        _, rt = self._run(p=4)
+        reg = MetricsRegistry()
+        collect_trace(reg, rt.trace, labels={"algo": "dash"})
+        dur = reg.get("repro_span_seconds")
+        cats = {lab["cat"] for lab, _ in dur.samples()}
+        assert "phase" in cats and "collective" in cats
+        total_spans = sum(child.count for _, child in dur.samples())
+        assert total_spans == len(rt.trace)
+
+    def test_one_registry_accumulates_many_runs(self):
+        reg = MetricsRegistry()
+        for seed in (1, 2):
+            _, rt = spmd(4, _sort_prog, 256, seed, return_runtime=True)
+            collect_runtime(reg, rt, labels={"algo": "dash"})
+        assert reg.value("repro_runs_total") == 2
+
+
+class TestStatsSnapshot:
+    def test_snapshot_is_consistent_copy(self):
+        _, rt = spmd(4, _sort_prog, 256, 1, return_runtime=True)
+        snap = rt.stats.snapshot()
+        assert isinstance(snap, StatsSnapshot)
+        assert snap.total_bytes_sent == int(rt.stats.bytes_sent.sum())
+        # mutating the live stats does not leak into the snapshot
+        before = snap.total_msgs_sent
+        rt.stats.record_send(0, 1000)
+        assert snap.total_msgs_sent == before
+        assert rt.stats.snapshot().total_msgs_sent == before + 1
+
+    def test_wire_bytes_combines_p2p_and_collectives(self):
+        _, rt = spmd(4, _sort_prog, 256, 1, return_runtime=True)
+        snap = rt.stats.snapshot()
+        assert snap.wire_bytes == snap.total_bytes_sent + snap.total_collective_bytes
+        assert snap.total_collective_bytes > 0
+
+    def test_traffic_snapshot_capture_uses_public_api(self):
+        _, rt = spmd(4, _sort_prog, 256, 1, return_runtime=True)
+        traffic = TrafficSnapshot.capture(rt)
+        snap = rt.stats.snapshot()
+        assert traffic.bytes_sent == snap.total_bytes_sent
+        assert traffic.msgs_sent == snap.total_msgs_sent
+        assert traffic.collective_calls == {k: v[0] for k, v in snap.collectives.items()}
+        assert traffic.collective_bytes == {k: v[1] for k, v in snap.collectives.items()}
+
+
+class TestParity:
+    """Metrics collection must not perturb results or virtual time."""
+
+    def test_16_rank_bit_parity(self):
+        machine = abstract_cluster(2, cores_per_node=8)
+        base = run_sort_trial(16, 600, algo="dash", seed=5, machine=machine)
+        reg = MetricsRegistry()
+        observed = run_sort_trial(
+            16, 600, algo="dash", seed=5, machine=machine,
+            metrics=reg, metrics_labels={"algo": "dash", "machine": "abstract2"},
+        )
+        assert observed.total == base.total  # exact, not approx
+        assert observed.phases == base.phases
+        assert observed.rounds == base.rounds
+        assert observed.exchanged_bytes == base.exchanged_bytes
+        assert observed.extra["bytes_sent"] == base.extra["bytes_sent"]
+        # and the registry did observe the run
+        assert reg.value("repro_runs_total") == 1
+        assert reg.value("repro_makespan_seconds", {"algo": "dash", "machine": "abstract2"}) == base.total
+
+    def test_collection_leaves_runtime_untouched(self):
+        results, rt = spmd(16, _sort_prog, 400, 9, return_runtime=True)
+        clocks_before = rt.clocks.copy()
+        snap_before = rt.stats.snapshot()
+        reg = MetricsRegistry()
+        collect_runtime(reg, rt, labels={"algo": "dash"})
+        np.testing.assert_array_equal(rt.clocks, clocks_before)
+        after = rt.stats.snapshot()
+        np.testing.assert_array_equal(after.bytes_sent, snap_before.bytes_sent)
+        np.testing.assert_array_equal(after.msgs_sent, snap_before.msgs_sent)
+        assert after.collectives == snap_before.collectives
+
+    def test_program_outputs_identical_with_observation(self):
+        base, _ = spmd(16, _sort_prog, 400, 11, return_runtime=True)
+        observed, rt = spmd(16, _sort_prog, 400, 11, return_runtime=True)
+        reg = MetricsRegistry()
+        collect_runtime(reg, rt, labels={})
+        for b, o in zip(base, observed):
+            np.testing.assert_array_equal(b["output"], o["output"])
+            assert b["clock"] == o["clock"]
+            assert b["phases"] == o["phases"]
