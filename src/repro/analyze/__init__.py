@@ -13,6 +13,12 @@ Two layers over :mod:`repro.mpi`:
   and reports leaked messages / never-completed requests at finalize —
   without perturbing the virtual clocks.
 
+The static layer is *whole-program*: per-file facts feed a cross-module
+call graph (:mod:`repro.analyze.callgraph`) and an interprocedural
+fixpoint (:mod:`repro.analyze.interproc`), and an incremental store
+(:mod:`repro.analyze.store`) caches per-file records by content hash so
+warm runs re-parse only changed files.
+
 Attribute access is lazy so that :mod:`repro.mpi` can import the runtime
 checker without dragging the lint engine (and its import of
 :mod:`repro.mpi.tags`) into a cycle.
@@ -26,6 +32,11 @@ __all__ = [
     "Finding",
     "analyze_paths",
     "analyze_source",
+    "analyze_program",
+    "AnalysisStore",
+    "CallGraph",
+    "check_program",
+    "summarize_module",
     "RULES",
     "RuntimeChecker",
     "main",
@@ -35,6 +46,11 @@ _EXPORTS = {
     "Finding": ("repro.analyze.astlint", "Finding"),
     "analyze_paths": ("repro.analyze.astlint", "analyze_paths"),
     "analyze_source": ("repro.analyze.astlint", "analyze_source"),
+    "analyze_program": ("repro.analyze.engine", "analyze_program"),
+    "AnalysisStore": ("repro.analyze.store", "AnalysisStore"),
+    "CallGraph": ("repro.analyze.callgraph", "CallGraph"),
+    "check_program": ("repro.analyze.interproc", "check_program"),
+    "summarize_module": ("repro.analyze.interproc", "summarize_module"),
     "RULES": ("repro.analyze.rules", "RULES"),
     "RuntimeChecker": ("repro.analyze.runtime_check", "RuntimeChecker"),
     "main": ("repro.analyze.cli", "main"),

@@ -31,6 +31,7 @@ __all__ = [
     "COLLECTIVE_METHODS",
     "P2P_METHODS",
     "RULE_PARSE_ERROR",
+    "suppression_table",
 ]
 
 RULE_PARSE_ERROR = "SPMD-PARSE-ERROR"
@@ -65,15 +66,43 @@ _SUPPRESS_RE = re.compile(r"#\s*spmd:\s*ignore(?:\[(?P<rules>[A-Z0-9, \-]+)\])?"
 
 @dataclass(frozen=True)
 class Finding:
-    """One lint finding, printable as ``file:line: RULE-ID message``."""
+    """One lint finding, printable as ``file:line: RULE-ID message``.
+
+    ``related`` carries secondary ``(path, line)`` locations — e.g. the
+    collective inside a callee for an interprocedural finding whose primary
+    location is the divergent call site.  Text output keeps the references
+    inline in the message; SARIF export emits them as ``relatedLocations``.
+    """
 
     path: str
     line: int
     rule: str
     message: str
+    related: tuple[tuple[str, int], ...] = ()
 
     def format(self) -> str:
         return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+        if self.related:
+            out["related"] = [list(r) for r in self.related]
+        return out
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Finding":
+        return cls(
+            path=d["path"],
+            line=int(d["line"]),
+            rule=d["rule"],
+            message=d["message"],
+            related=tuple((r[0], int(r[1])) for r in d.get("related", [])),
+        )
 
 
 @dataclass
@@ -88,17 +117,8 @@ class ModuleInfo:
     def suppressed(self, line: int, rule: str) -> bool:
         if not 1 <= line <= len(self.lines):
             return False
-        m = _SUPPRESS_RE.search(self.lines[line - 1])
-        if m is None:
-            return False
-        rules = m.group("rules")
-        if rules is None:
-            return True
-        # Rule IDs may be written without the "SPMD-" prefix:
-        # `# spmd: ignore[BUFFER-REUSE]` == `# spmd: ignore[SPMD-BUFFER-REUSE]`
-        # (the `spmd:` marker already names the namespace).
-        listed = {r.strip() for r in rules.split(",")}
-        return rule in listed or rule.removeprefix("SPMD-") in listed
+        table = suppression_table(self.lines[line - 1 : line], start=line)
+        return _suppresses(table.get(line, False), rule)
 
 
 @dataclass
@@ -132,6 +152,43 @@ class FunctionContext:
         return False
 
 
+def suppression_table(
+    lines: list[str], start: int = 1
+) -> dict[int, list[str] | None]:
+    """Map line number -> suppression spec for every ``# spmd: ignore`` line.
+
+    ``None`` means the bare form (every rule suppressed); a list holds the
+    rule IDs named in the brackets, verbatim.  The table is trivially
+    JSON-serializable so the incremental store can reapply suppression on
+    warm runs without re-reading the source.
+    """
+    table: dict[int, list[str] | None] = {}
+    for offset, text in enumerate(lines):
+        m = _SUPPRESS_RE.search(text)
+        if m is None:
+            continue
+        rules = m.group("rules")
+        table[start + offset] = (
+            None if rules is None else [r.strip() for r in rules.split(",")]
+        )
+    return table
+
+
+def _suppresses(spec: list[str] | None | bool, rule: str) -> bool:
+    """Does one suppression-table entry silence ``rule``?
+
+    ``False`` (no entry) never suppresses; ``None`` (bare ignore) always
+    does.  Rule IDs may be written without the ``SPMD-`` prefix — the
+    ``spmd:`` marker already names the namespace.
+    """
+    if spec is False:
+        return False
+    if spec is None:
+        return True
+    assert isinstance(spec, list)
+    return rule in spec or rule.removeprefix("SPMD-") in spec
+
+
 def _annotation_is_comm(ann: ast.expr | None) -> bool:
     if ann is None:
         return False
@@ -156,9 +213,17 @@ def _own_statements(fn: ast.FunctionDef) -> Iterator[ast.stmt]:
                 )
 
 
-def build_context(fn: ast.FunctionDef) -> FunctionContext:
-    """Collect communicator aliases and rank-tainted names (fixpoint)."""
-    comm: set[str] = set()
+def build_context(
+    fn: ast.FunctionDef, extra_comms: Iterable[str] = ()
+) -> FunctionContext:
+    """Collect communicator aliases and rank-tainted names (fixpoint).
+
+    ``extra_comms`` seeds additional parameter names known to be
+    communicators from whole-program evidence (e.g. the first parameter of
+    a function passed to ``run_spmd``); the intraprocedural rules never
+    pass it, so their findings are unaffected.
+    """
+    comm: set[str] = set(extra_comms)
     args = fn.args
     for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
         if a.arg in _COMM_PARAM_NAMES or _annotation_is_comm(a.annotation):
@@ -279,22 +344,20 @@ def analyze_modules(mods: list[ModuleInfo]) -> list[Finding]:
     return sorted(set(findings), key=lambda f: (f.path, f.line, f.rule))
 
 
-def analyze_paths(paths: Iterable[str | Path]) -> list[Finding]:
-    """Lint every ``.py`` file under the given paths."""
-    mods: list[ModuleInfo] = []
-    findings: list[Finding] = []
-    for file in collect_files(paths):
-        try:
-            source = file.read_text(encoding="utf-8")
-        except OSError as exc:
-            findings.append(Finding(str(file), 1, RULE_PARSE_ERROR, str(exc)))
-            continue
-        out = module_from_source(source, str(file))
-        if isinstance(out, Finding):
-            findings.append(out)
-        else:
-            mods.append(out)
-    return sorted(set(findings) | set(analyze_modules(mods)), key=lambda f: (f.path, f.line, f.rule))
+def analyze_paths(
+    paths: Iterable[str | Path], store=None
+) -> list[Finding]:
+    """Lint every ``.py`` file under the given paths (full rule set).
+
+    Runs the whole-program pipeline — intraprocedural rules, the
+    cross-module tag audit, and the interprocedural rules of
+    :mod:`repro.analyze.interproc`.  Pass an
+    :class:`~repro.analyze.store.AnalysisStore` to reuse cached per-file
+    records across runs; the findings are identical either way.
+    """
+    from .engine import analyze_program
+
+    return analyze_program(paths, store=store).findings
 
 
 def analyze_source(

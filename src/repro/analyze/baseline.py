@@ -1,0 +1,80 @@
+"""Finding baselines: accept today's findings, fail only on new ones.
+
+A baseline file is a committed JSON document holding the fingerprint of
+every accepted finding — exact ``(path, line, rule, message)`` tuples.
+``--baseline write`` snapshots the current findings; ``--baseline check``
+subtracts the snapshot and exits non-zero only for findings that are not
+in it.  This is the standard ratchet for introducing new rules into an
+existing codebase: commit the baseline, block regressions, burn the
+accepted findings down over time.
+
+Fingerprints are deliberately exact: a finding that moves (file renamed,
+line shifted, message reworded by a rule change) counts as *new* and
+must be re-accepted consciously rather than silently tracked.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .astlint import Finding
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "DEFAULT_BASELINE",
+    "write_baseline",
+    "load_baseline",
+    "subtract_baseline",
+]
+
+BASELINE_SCHEMA = 1
+
+#: conventional location, committed at the repository root
+DEFAULT_BASELINE = "analyze-baseline.json"
+
+_Fingerprint = tuple[str, int, str, str]
+
+
+def _fingerprint(f: Finding) -> _Fingerprint:
+    return (f.path, f.line, f.rule, f.message)
+
+
+def write_baseline(findings: Iterable[Finding], path: str | Path) -> int:
+    """Snapshot findings into a baseline file; returns how many."""
+    entries = sorted({_fingerprint(f) for f in findings})
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "findings": [
+            {"path": p, "line": line, "rule": rule, "message": msg}
+            for p, line, rule, msg in entries
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def load_baseline(path: str | Path) -> set[_Fingerprint]:
+    """Read a baseline file; raises ``OSError``/``ValueError`` on problems."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(f"{path}: not a baseline file (schema mismatch)")
+    out: set[_Fingerprint] = set()
+    for raw in data.get("findings", []):
+        out.add((raw["path"], int(raw["line"]), raw["rule"], raw["message"]))
+    return out
+
+
+def subtract_baseline(
+    findings: Iterable[Finding], baseline: set[_Fingerprint]
+) -> tuple[list[Finding], int]:
+    """Split findings into (new, number suppressed by the baseline)."""
+    new: list[Finding] = []
+    suppressed = 0
+    for f in findings:
+        if _fingerprint(f) in baseline:
+            suppressed += 1
+        else:
+            new.append(f)
+    return new, suppressed

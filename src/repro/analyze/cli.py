@@ -1,17 +1,73 @@
 """``python -m repro.analyze`` — static SPMD lint CLI.
 
-Exit codes: 0 clean, 1 findings, 2 usage/internal error.
+Exit codes: 0 clean, 1 findings, 2 usage/internal error (including
+unparsable inputs and a missing baseline in ``--baseline check`` mode).
+
+The analyzer is incremental by default: per-file records are cached in
+``~/.cache/repro/analyze.json`` (override with ``$REPRO_ANALYZE_CACHE``
+or ``--store``) keyed by content hash, so warm runs re-parse only files
+that changed since the last run.  ``--no-store`` disables the cache;
+findings are identical either way.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
+from pathlib import Path
 
-from .astlint import RULE_PARSE_ERROR, analyze_paths
+from .astlint import RULE_PARSE_ERROR, Finding, analyze_paths
+from .baseline import (
+    DEFAULT_BASELINE,
+    load_baseline,
+    subtract_baseline,
+    write_baseline,
+)
 from .rules import RULES
+from .store import AnalysisStore
 
 __all__ = ["main"]
+
+
+def _changed_files(ref: str) -> set[Path] | None:
+    """Absolute paths changed vs ``ref``, plus untracked files.
+
+    Returns ``None`` (with a message on stderr) when git is unavailable
+    or the ref does not resolve — the caller exits 2.
+    """
+    try:
+        root = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", ref, "--"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError) as exc:
+        detail = getattr(exc, "stderr", "") or str(exc)
+        print(
+            f"repro.analyze: --changed-only failed: {detail.strip()}",
+            file=sys.stderr,
+        )
+        return None
+    out: set[Path] = set()
+    for line in (diff + untracked).splitlines():
+        line = line.strip()
+        if line:
+            out.add((Path(root) / line).resolve())
+    return out
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -42,19 +98,113 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="write the report to FILE instead of stdout",
     )
+    parser.add_argument(
+        "--store",
+        metavar="FILE",
+        default=None,
+        help="incremental store location (default: $REPRO_ANALYZE_CACHE "
+        "or ~/.cache/repro/analyze.json)",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the incremental store; parse every file fresh",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="report files parsed vs reused from the store on stderr",
+    )
+    parser.add_argument(
+        "--changed-only",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help="report findings only in files changed vs REF (default HEAD) "
+        "plus untracked files; the whole program is still analyzed so "
+        "cross-file rules keep full context",
+    )
+    parser.add_argument(
+        "--baseline",
+        choices=("write", "check"),
+        default=None,
+        help="'write': snapshot current findings into the baseline file "
+        "and exit 0; 'check': report and fail only on findings not in "
+        "the baseline",
+    )
+    parser.add_argument(
+        "--baseline-file",
+        metavar="FILE",
+        default=DEFAULT_BASELINE,
+        help=f"baseline location (default: {DEFAULT_BASELINE})",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
         for rule in RULES:
-            print(f"{rule.id}: {rule.summary}")
+            print(f"{rule.id} [{rule.layer}]: {rule.summary}")
         return 0
 
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        # a typo'd directory silently linting zero files would read as a
+        # clean pass in CI
+        print(
+            f"repro.analyze: no such file or directory: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    store: AnalysisStore | None = None
+    if not args.no_store:
+        store = AnalysisStore(args.store)
+
     try:
-        findings = analyze_paths(args.paths)
+        findings = analyze_paths(args.paths, store=store)
     except Exception as exc:  # internal error, not a lint finding
         print(f"repro.analyze: internal error: {exc}", file=sys.stderr)
         return 2
 
+    if args.stats and store is not None:
+        print(
+            f"repro.analyze: {store.hits + store.misses} files "
+            f"({store.misses} parsed, {store.hits} reused)",
+            file=sys.stderr,
+        )
+
+    if args.changed_only is not None:
+        changed = _changed_files(args.changed_only)
+        if changed is None:
+            return 2
+        findings = [f for f in findings if Path(f.path).resolve() in changed]
+
+    if args.baseline == "write":
+        n = write_baseline(findings, args.baseline_file)
+        print(
+            f"repro.analyze: baseline written to {args.baseline_file} "
+            f"({n} finding{'s' if n != 1 else ''})",
+            file=sys.stderr,
+        )
+        return 0
+    if args.baseline == "check":
+        try:
+            accepted = load_baseline(args.baseline_file)
+        except (OSError, ValueError) as exc:
+            print(f"repro.analyze: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        findings, suppressed = subtract_baseline(findings, accepted)
+        if suppressed:
+            print(
+                f"repro.analyze: {suppressed} baselined finding"
+                f"{'s' if suppressed != 1 else ''} suppressed",
+                file=sys.stderr,
+            )
+
+    return _report(findings, args)
+
+
+def _report(findings: list[Finding], args: argparse.Namespace) -> int:
     if args.format == "sarif":
         from .sarif import dump_sarif
 

@@ -42,6 +42,8 @@ __all__ = [
     "RULE_SHAPE_MISMATCH",
     "build_cfg",
     "check_function",
+    "rank_sized_names",
+    "uniform_collective_hits",
 ]
 
 RULE_BUFFER_REUSE = "SPMD-BUFFER-REUSE"
@@ -573,9 +575,16 @@ def _rank_sized_expr(
     return False
 
 
-def _shape_mismatch(mod: ModuleInfo, ctx: FunctionContext) -> list[Finding]:
-    # Fixpoint over assignments: names bound to rank-sized containers.
-    rank_sized: set[str] = set()
+def rank_sized_names(
+    ctx: FunctionContext, extra_sized: frozenset[str] = frozenset()
+) -> set[str]:
+    """Names bound to rank-sized containers (assignment fixpoint).
+
+    ``extra_sized`` seeds names known to be rank-sized from evidence the
+    local analysis cannot see — e.g. the result of a helper call whose
+    summary says it returns a rank-dependent-length container.
+    """
+    rank_sized: set[str] = set(extra_sized)
     assigns: list[tuple[str, ast.expr]] = []
     for n in ast.walk(ctx.node):
         if isinstance(n, ast.Assign) and len(n.targets) == 1 and isinstance(
@@ -590,8 +599,15 @@ def _shape_mismatch(mod: ModuleInfo, ctx: FunctionContext) -> list[Finding]:
                 changed = True
         if not changed:
             break
+    return rank_sized
 
-    findings: list[Finding] = []
+
+def uniform_collective_hits(
+    ctx: FunctionContext, rank_sized: set[str]
+) -> list[tuple[str, int, ast.expr]]:
+    """``(verb, line, payload)`` for every uniform-shape collective whose
+    payload length is rank-dependent under the given rank-sized name set."""
+    hits: list[tuple[str, int, ast.expr]] = []
     for n in ast.walk(ctx.node):
         if not (isinstance(n, ast.Call) and ctx.is_comm_call(n, _UNIFORM_COLLECTIVES)):
             continue
@@ -601,13 +617,23 @@ def _shape_mismatch(mod: ModuleInfo, ctx: FunctionContext) -> list[Finding]:
         if not _rank_sized_expr(payload, ctx, rank_sized):
             continue
         verb = n.func.attr  # type: ignore[union-attr]
+        hits.append((verb, n.lineno, payload))
+    return hits
+
+
+def _shape_mismatch(mod: ModuleInfo, ctx: FunctionContext) -> list[Finding]:
+    # Fixpoint over assignments: names bound to rank-sized containers.
+    rank_sized = rank_sized_names(ctx)
+
+    findings: list[Finding] = []
+    for verb, line, payload in uniform_collective_hits(ctx, rank_sized):
         desc = (
             f"'{payload.id}'" if isinstance(payload, ast.Name) else "the payload"
         )
         findings.append(
             Finding(
                 mod.path,
-                n.lineno,
+                line,
                 RULE_SHAPE_MISMATCH,
                 f"{desc} passed to '{verb}()' has a rank-dependent length; "
                 f"'{verb}' requires the same shape on every rank — pad to a "

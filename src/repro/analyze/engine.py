@@ -1,0 +1,142 @@
+"""The whole-program analysis pipeline: per-file records + global phase.
+
+:func:`analyze_program` is the one entry point behind both the CLI and
+:func:`repro.analyze.astlint.analyze_paths`.  It runs in two phases:
+
+**Per-file (cacheable).**  Each ``.py`` file is hashed; on a store hit the
+cached :class:`~repro.analyze.store.FileRecord` is reused and the file is
+*never parsed*.  On a miss the file is parsed once and every parse-derived
+artifact is extracted: the legacy intraprocedural findings, the
+module-local tag audit, the suppression table, and the interprocedural
+:class:`~repro.analyze.interproc.ModuleSummary`.
+
+**Global (every run).**  The cross-module literal-tag join and the
+interprocedural fixpoint (:func:`repro.analyze.interproc.check_program`)
+run over the union of cached and fresh records — they are cheap because
+they only touch serialized summaries.  Suppression is applied from the
+cached tables, then findings are deduplicated and sorted.  The output is
+therefore byte-identical between cold and warm runs, and identical to the
+legacy per-module pipeline for the eight intraprocedural rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from .astlint import (
+    Finding,
+    ModuleInfo,
+    RULE_PARSE_ERROR,
+    _derive_modname,
+    _suppresses,
+    collect_files,
+    module_from_source,
+    suppression_table,
+)
+from .interproc import check_program, summarize_module
+from .store import AnalysisStore, FileRecord, content_hash
+
+__all__ = ["AnalysisStats", "AnalysisReport", "analyze_program", "build_record"]
+
+
+@dataclass
+class AnalysisStats:
+    """How much work one :func:`analyze_program` call actually did."""
+
+    files: int = 0  #: files handed to the analyzer
+    parsed: int = 0  #: files parsed + summarized this run (store misses)
+    reused: int = 0  #: files served from the store without parsing
+
+
+@dataclass
+class AnalysisReport:
+    findings: list[Finding] = field(default_factory=list)
+    stats: AnalysisStats = field(default_factory=AnalysisStats)
+
+
+def build_record(source: str, path: str) -> FileRecord:
+    """Extract every cacheable artifact from one file's source (cold path)."""
+    from .rules import check_module, module_tag_sites
+
+    modname = _derive_modname(Path(path))
+    out = module_from_source(source, path)
+    if isinstance(out, Finding):
+        return FileRecord(path=path, modname=modname, parse_error=out)
+    mod: ModuleInfo = out
+    tag_findings, literal_tags = module_tag_sites(mod)
+    return FileRecord(
+        path=path,
+        modname=mod.modname,
+        findings=check_module(mod),
+        tag_findings=tag_findings,
+        literal_tags=literal_tags,
+        suppression=suppression_table(mod.lines),
+        summary=summarize_module(mod),
+    )
+
+
+def analyze_program(
+    paths: Iterable[str | Path], store: AnalysisStore | None = None
+) -> AnalysisReport:
+    """Analyze every ``.py`` file under ``paths`` with the full rule set.
+
+    With a ``store``, unchanged files are served from cache (their record
+    was extracted by an earlier run) and the store is saved afterwards;
+    without one, every file is parsed fresh.  Output is identical either
+    way — only the work differs.
+    """
+    from .rules import join_literal_tags
+
+    report = AnalysisReport()
+    records: list[FileRecord] = []
+    unreadable: list[Finding] = []
+
+    for file in collect_files(paths):
+        report.stats.files += 1
+        try:
+            source = file.read_text(encoding="utf-8")
+        except OSError as exc:
+            unreadable.append(Finding(str(file), 1, RULE_PARSE_ERROR, str(exc)))
+            continue
+        path = str(file)
+        digest = content_hash(source)
+        record = store.get(path, digest) if store is not None else None
+        if record is None:
+            record = build_record(source, path)
+            report.stats.parsed += 1
+            if store is not None:
+                store.put(path, digest, record)
+        else:
+            report.stats.reused += 1
+        records.append(record)
+
+    if store is not None:
+        store.save()
+
+    findings: list[Finding] = []
+    tag_sites: list[tuple[str, str, int, int]] = []
+    summaries = []
+    suppression: dict[str, dict[int, list[str] | None]] = {}
+    for rec in records:
+        findings.extend(rec.findings)
+        findings.extend(rec.tag_findings)
+        tag_sites.extend((rec.modname, rec.path, v, l) for v, l in rec.literal_tags)
+        if rec.summary is not None:
+            summaries.append(rec.summary)
+        suppression[rec.path] = rec.suppression
+    findings.extend(join_literal_tags(tag_sites))
+    findings.extend(check_program(summaries))
+
+    kept = [
+        f
+        for f in findings
+        if not _suppresses(suppression.get(f.path, {}).get(f.line, False), f.rule)
+    ]
+    # parse errors are never suppressible — there is no trustworthy source
+    # line to carry the ignore comment
+    kept.extend(rec.parse_error for rec in records if rec.parse_error is not None)
+    kept.extend(unreadable)
+    report.findings = sorted(set(kept), key=lambda f: (f.path, f.line, f.rule))
+    return report

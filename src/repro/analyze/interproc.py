@@ -1,0 +1,1090 @@
+"""Interprocedural dataflow: per-function summaries and whole-program rules.
+
+The per-function rules in :mod:`repro.analyze.rules` and
+:mod:`repro.analyze.dataflow` stop at the function boundary, so exactly
+the helper shapes that multi-level sorting introduces — a helper that
+creates an ``isend`` and returns the request, a wrapper that threads a
+tag parameter into a ``send``, a rank-dependent partition size computed
+in one function and fed to a collective in another — are invisible to
+them.  This module closes that gap in two phases:
+
+**Summaries (per file, cacheable).**  :func:`summarize_module` extracts a
+JSON-serializable :class:`FunctionSummary` per function: which requests
+escape through the return value, whether the return value is rank-tainted
+or a rank-sized container, which parameters flow into p2p ``tag``
+arguments, every collective issued on a communicator handle, and every
+call site with its rank-divergence context plus enough caller-local facts
+(is the result waited? returned? fed to a uniform collective as a size?)
+that the whole-program phase never needs an AST.  Warm incremental runs
+load summaries from :mod:`repro.analyze.store` and skip parsing entirely.
+
+**Whole-program fixpoint (every run, cheap).**  :func:`check_program`
+resolves call sites through :class:`repro.analyze.callgraph.CallGraph`,
+propagates summaries bottom-up over SCCs (a fixpoint within each SCC
+handles recursion, e.g. AMS-style group-recursive phases calling shared
+collective helpers), and emits four rules:
+
+``SPMD-ESCAPED-REQUEST``
+    A request created in a callee escapes through its return value and
+    the caller discards it (or binds it to a name that is never used) —
+    nobody anywhere waits on the operation.
+``SPMD-INTERPROC-TAG-COLLISION``
+    Call sites in *different modules* funnel the same tag constant into
+    the same helper parameter that reaches a p2p ``tag=``; unrelated
+    protocols would cross-match messages.
+``SPMD-INTERPROC-DIV-COLLECTIVE``
+    A call reached only under rank-dependent control flow leads
+    (transitively) to a collective inside a callee; not every rank of the
+    communicator would issue it.
+``SPMD-RANK-TAINT-SHAPE``
+    A helper returns a rank-dependent value (or rank-sized container) and
+    the caller feeds it — possibly through a size constructor — into a
+    uniform-shape collective's payload.
+
+Everything is a *may* analysis over edges the call graph can prove;
+unresolvable calls (dynamic dispatch, third-party code) stay silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from .astlint import (
+    COLLECTIVE_METHODS,
+    P2P_METHODS,
+    Finding,
+    FunctionContext,
+    ModuleInfo,
+    build_context,
+)
+from .callgraph import LOCALS_SEP, CallGraph, FunctionNode, ModuleIndex, index_module
+from .dataflow import rank_sized_names, uniform_collective_hits
+
+__all__ = [
+    "RULE_ESCAPED_REQUEST",
+    "RULE_INTERPROC_TAG",
+    "RULE_INTERPROC_DIV",
+    "RULE_RANK_TAINT_SHAPE",
+    "INTERPROC_RULES",
+    "CallSite",
+    "FunctionSummary",
+    "ModuleSummary",
+    "summarize_module",
+    "check_program",
+]
+
+RULE_ESCAPED_REQUEST = "SPMD-ESCAPED-REQUEST"
+RULE_INTERPROC_TAG = "SPMD-INTERPROC-TAG-COLLISION"
+RULE_INTERPROC_DIV = "SPMD-INTERPROC-DIV-COLLECTIVE"
+RULE_RANK_TAINT_SHAPE = "SPMD-RANK-TAINT-SHAPE"
+
+INTERPROC_RULES = (
+    RULE_ESCAPED_REQUEST,
+    RULE_INTERPROC_TAG,
+    RULE_INTERPROC_DIV,
+    RULE_RANK_TAINT_SHAPE,
+)
+
+#: tag values excluded from collision checks (default / wildcard), mirroring
+#: the intraprocedural SPMD-TAG-COLLISION rule
+_TAG_EXEMPT = frozenset({0, -1})
+
+#: call-spec prefixes that can never resolve inside the fileset; their call
+#: sites are dropped at summary time to keep the store compact
+_REQUEST_METHODS = frozenset({"isend", "irecv"})
+
+
+# ----------------------------------------------------------- serializable IR
+
+
+@dataclass
+class CallSite:
+    """One call to a (potentially) user-defined function, caller's view."""
+
+    spec: tuple[str, ...]  #: ("name", f) | ("attr", prefix, f) | ("self", m)
+    display: str  #: source spelling for messages, e.g. ``helpers.send_rows``
+    line: int
+    div_line: int | None = None  #: rank-divergence start in the caller, if any
+    pos_const: dict[int, int] = field(default_factory=dict)
+    kw_const: dict[str, int] = field(default_factory=dict)
+    pos_taint: list[int] = field(default_factory=list)
+    kw_taint: list[str] = field(default_factory=list)
+    pos_names: dict[int, str] = field(default_factory=dict)
+    kw_names: dict[str, str] = field(default_factory=dict)
+    result: str = "other"  #: discarded | named | returned | other
+    result_name: str | None = None
+    result_consumed: bool = False  #: the bound name is loaded somewhere
+    result_waited: bool = False  #: wait()/test()/waitall()/drain loop
+    result_returned: bool = False  #: result flows into the caller's return
+    #: uniform collectives that become rank-sized if the result is treated
+    #: as a rank-tainted scalar / a rank-sized container: [(verb, line)]
+    shape_hits_taint: list[tuple[str, int]] = field(default_factory=list)
+    shape_hits_sized: list[tuple[str, int]] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spec": list(self.spec),
+            "display": self.display,
+            "line": self.line,
+            "div_line": self.div_line,
+            "pos_const": {str(k): v for k, v in self.pos_const.items()},
+            "kw_const": dict(self.kw_const),
+            "pos_taint": list(self.pos_taint),
+            "kw_taint": list(self.kw_taint),
+            "pos_names": {str(k): v for k, v in self.pos_names.items()},
+            "kw_names": dict(self.kw_names),
+            "result": self.result,
+            "result_name": self.result_name,
+            "result_consumed": self.result_consumed,
+            "result_waited": self.result_waited,
+            "result_returned": self.result_returned,
+            "shape_hits_taint": [list(h) for h in self.shape_hits_taint],
+            "shape_hits_sized": [list(h) for h in self.shape_hits_sized],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "CallSite":
+        return cls(
+            spec=tuple(d["spec"]),
+            display=d["display"],
+            line=int(d["line"]),
+            div_line=d.get("div_line"),
+            pos_const={int(k): int(v) for k, v in d.get("pos_const", {}).items()},
+            kw_const={k: int(v) for k, v in d.get("kw_const", {}).items()},
+            pos_taint=[int(i) for i in d.get("pos_taint", [])],
+            kw_taint=list(d.get("kw_taint", [])),
+            pos_names={int(k): v for k, v in d.get("pos_names", {}).items()},
+            kw_names=dict(d.get("kw_names", {})),
+            result=d.get("result", "other"),
+            result_name=d.get("result_name"),
+            result_consumed=bool(d.get("result_consumed", False)),
+            result_waited=bool(d.get("result_waited", False)),
+            result_returned=bool(d.get("result_returned", False)),
+            shape_hits_taint=[(h[0], int(h[1])) for h in d.get("shape_hits_taint", [])],
+            shape_hits_sized=[(h[0], int(h[1])) for h in d.get("shape_hits_sized", [])],
+        )
+
+
+@dataclass
+class FunctionSummary:
+    """Communication-relevant facts about one function, caller-agnostic."""
+
+    dotted: str
+    name: str
+    line: int
+    params: list[str] = field(default_factory=list)
+    comm_params: list[str] = field(default_factory=list)
+    #: collectives issued on a communicator handle: [(display, line)]
+    collectives: list[tuple[str, int]] = field(default_factory=list)
+    #: requests that escape through the return value: [(verb, line)]
+    escaping: list[tuple[str, int]] = field(default_factory=list)
+    returns_taint: bool = False
+    returns_taint_line: int | None = None
+    #: params whose taint would reach the return value
+    taint_params_to_return: list[str] = field(default_factory=list)
+    returns_sized: bool = False
+    returns_sized_line: int | None = None
+    #: param name -> line of the p2p call whose tag it feeds
+    tag_params: dict[str, int] = field(default_factory=dict)
+    calls: list[CallSite] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "dotted": self.dotted,
+            "name": self.name,
+            "line": self.line,
+            "params": list(self.params),
+            "comm_params": list(self.comm_params),
+            "collectives": [list(c) for c in self.collectives],
+            "escaping": [list(e) for e in self.escaping],
+            "returns_taint": self.returns_taint,
+            "returns_taint_line": self.returns_taint_line,
+            "taint_params_to_return": list(self.taint_params_to_return),
+            "returns_sized": self.returns_sized,
+            "returns_sized_line": self.returns_sized_line,
+            "tag_params": dict(self.tag_params),
+            "calls": [c.to_dict() for c in self.calls],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "FunctionSummary":
+        return cls(
+            dotted=d["dotted"],
+            name=d["name"],
+            line=int(d["line"]),
+            params=list(d.get("params", [])),
+            comm_params=list(d.get("comm_params", [])),
+            collectives=[(c[0], int(c[1])) for c in d.get("collectives", [])],
+            escaping=[(e[0], int(e[1])) for e in d.get("escaping", [])],
+            returns_taint=bool(d.get("returns_taint", False)),
+            returns_taint_line=d.get("returns_taint_line"),
+            taint_params_to_return=list(d.get("taint_params_to_return", [])),
+            returns_sized=bool(d.get("returns_sized", False)),
+            returns_sized_line=d.get("returns_sized_line"),
+            tag_params={k: int(v) for k, v in d.get("tag_params", {}).items()},
+            calls=[CallSite.from_dict(c) for c in d.get("calls", [])],
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the whole-program phase needs from one file."""
+
+    index: ModuleIndex
+    functions: dict[str, FunctionSummary] = field(default_factory=dict)
+
+    @property
+    def path(self) -> str:
+        return self.index.path
+
+    @property
+    def modname(self) -> str:
+        return self.index.modname
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index.to_dict(),
+            "functions": {d: f.to_dict() for d, f in sorted(self.functions.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "ModuleSummary":
+        return cls(
+            index=ModuleIndex.from_dict(d["index"]),
+            functions={
+                k: FunctionSummary.from_dict(v) for k, v in d["functions"].items()
+            },
+        )
+
+
+# ------------------------------------------------------- per-file summaries
+
+
+def _own_statements(fn: ast.FunctionDef):
+    """Statements of ``fn`` excluding nested function/class bodies."""
+    stack: list[ast.stmt] = list(reversed(fn.body))
+    while stack:
+        st = stack.pop()
+        if isinstance(st, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield st
+        children: list[ast.stmt] = []
+        for child in ast.iter_child_nodes(st):
+            if isinstance(child, ast.stmt):
+                children.append(child)
+            else:
+                children.extend(
+                    c for c in ast.walk(child) if isinstance(c, ast.stmt)
+                )
+        stack.extend(reversed(children))
+
+
+def _own_nodes(fn: ast.FunctionDef):
+    for st in _own_statements(fn):
+        yield from ast.walk(st)
+
+
+def _return_exprs(fn: ast.FunctionDef) -> list[ast.expr]:
+    return [
+        st.value
+        for st in _own_statements(fn)
+        if isinstance(st, ast.Return) and st.value is not None
+    ]
+
+
+def _waited_names(fn: ast.FunctionDef) -> set[str]:
+    """Names whose requests are completed somewhere in the function."""
+    waited: set[str] = set()
+    for st in _own_statements(fn):
+        for n in ast.walk(st):
+            if not isinstance(n, ast.Call):
+                continue
+            func = n.func
+            if isinstance(func, ast.Attribute):
+                if func.attr in ("wait", "test") and isinstance(func.value, ast.Name):
+                    waited.add(func.value.id)
+                elif func.attr == "waitall":
+                    waited.update(
+                        a.id for a in n.args if isinstance(a, ast.Name)
+                    )
+            elif isinstance(func, ast.Name) and func.id == "waitall":
+                waited.update(a.id for a in n.args if isinstance(a, ast.Name))
+        # `for r in reqs: r.wait()` drains the collection *and* the element
+        if isinstance(st, ast.For) and isinstance(st.target, ast.Name) and isinstance(
+            st.iter, ast.Name
+        ):
+            target = st.target.id
+            for n in ast.walk(
+                ast.Module(body=list(st.body), type_ignores=[])
+            ):
+                if (
+                    isinstance(n, ast.Call)
+                    and isinstance(n.func, ast.Attribute)
+                    and n.func.attr in ("wait", "test")
+                    and isinstance(n.func.value, ast.Name)
+                    and n.func.value.id == target
+                ):
+                    waited.add(st.iter.id)
+                    break
+    return waited
+
+
+def _names_in(expr: ast.AST) -> set[str]:
+    return {
+        n.id
+        for n in ast.walk(expr)
+        if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+    }
+
+
+def _dotted_name(node: ast.expr) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+#: positional index of the ``tag`` argument per p2p method (mirrors rules.py)
+_TAG_ARG_INDEX = {"send": 2, "isend": 2, "recv": 1, "irecv": 1, "iprobe": 1, "sendrecv": 3}
+
+
+def _tag_expr(call: ast.Call) -> ast.expr | None:
+    method = call.func.attr  # type: ignore[union-attr]
+    for kw in call.keywords:
+        if kw.arg == "tag":
+            return kw.value
+    idx = _TAG_ARG_INDEX.get(method)
+    if idx is not None and len(call.args) > idx:
+        return call.args[idx]
+    return None
+
+
+class _Summarizer:
+    """Builds one :class:`FunctionSummary` from an AST + context."""
+
+    def __init__(
+        self,
+        mod: ModuleInfo,
+        node_info: FunctionNode,
+        ctx: FunctionContext,
+        resolvable_names: set[str],
+        import_prefixes: set[str],
+    ) -> None:
+        self.mod = mod
+        self.info = node_info
+        self.fn = node_info.node
+        assert self.fn is not None
+        self.ctx = ctx
+        self.resolvable_names = resolvable_names
+        self.import_prefixes = import_prefixes
+
+    def run(self) -> FunctionSummary:
+        fn, ctx = self.fn, self.ctx
+        summary = FunctionSummary(
+            dotted=self.info.dotted,
+            name=self.info.name,
+            line=self.info.line,
+            params=list(self.info.params),
+            comm_params=sorted(p for p in self.info.params if p in ctx.comm_names),
+        )
+        returns = _return_exprs(fn)
+        waited = _waited_names(fn)
+        returned_names = set().union(*(_names_in(r) for r in returns)) if returns else set()
+
+        self._collectives(summary)
+        self._escaping(summary, returns, waited, returned_names)
+        self._returns(summary, returns, returned_names)
+        self._tag_params(summary)
+        self._call_sites(summary, waited, returned_names)
+        return summary
+
+    # -- local facts
+
+    def _collectives(self, summary: FunctionSummary) -> None:
+        for n in _own_nodes(self.fn):
+            if isinstance(n, ast.Call) and self.ctx.is_comm_call(n, COLLECTIVE_METHODS):
+                func = n.func
+                assert isinstance(func, ast.Attribute)
+                display = f"{func.value.id}.{func.attr}"  # type: ignore[attr-defined]
+                summary.collectives.append((display, n.lineno))
+        summary.collectives.sort(key=lambda c: (c[1], c[0]))
+
+    def _escaping(
+        self,
+        summary: FunctionSummary,
+        returns: list[ast.expr],
+        waited: set[str],
+        returned_names: set[str],
+    ) -> None:
+        # requests returned directly: `return comm.isend(...)` (or in a tuple)
+        for r in returns:
+            parts = r.elts if isinstance(r, (ast.Tuple, ast.List)) else [r]
+            for part in parts:
+                if isinstance(part, ast.Call) and self.ctx.is_comm_call(
+                    part, _REQUEST_METHODS
+                ):
+                    verb = part.func.attr  # type: ignore[union-attr]
+                    summary.escaping.append((verb, part.lineno))
+        # requests bound to a name that is returned and never waited
+        for st in _own_statements(self.fn):
+            if not (isinstance(st, ast.Assign) and len(st.targets) == 1):
+                continue
+            tgt, val = st.targets[0], st.value
+            pairs: list[tuple[ast.expr, ast.expr]] = []
+            if isinstance(tgt, ast.Name):
+                pairs.append((tgt, val))
+            elif (
+                isinstance(tgt, ast.Tuple)
+                and isinstance(val, ast.Tuple)
+                and len(tgt.elts) == len(val.elts)
+            ):
+                pairs.extend(zip(tgt.elts, val.elts))
+            for t, v in pairs:
+                if (
+                    isinstance(t, ast.Name)
+                    and isinstance(v, ast.Call)
+                    and self.ctx.is_comm_call(v, _REQUEST_METHODS)
+                    and t.id in returned_names
+                    and t.id not in waited
+                ):
+                    verb = v.func.attr  # type: ignore[union-attr]
+                    summary.escaping.append((verb, v.lineno))
+        summary.escaping.sort(key=lambda e: (e[1], e[0]))
+
+    def _returns(
+        self,
+        summary: FunctionSummary,
+        returns: list[ast.expr],
+        returned_names: set[str],
+    ) -> None:
+        ctx = self.ctx
+        for r in returns:
+            if not summary.returns_taint and ctx.is_rank_expr(r):
+                summary.returns_taint = True
+                summary.returns_taint_line = r.lineno
+        sized = rank_sized_names(ctx)
+        from .dataflow import _rank_sized_expr
+
+        for r in returns:
+            if not summary.returns_sized and _rank_sized_expr(r, ctx, sized):
+                summary.returns_sized = True
+                summary.returns_sized_line = r.lineno
+        summary.taint_params_to_return = sorted(
+            p
+            for p in self.info.params
+            if p in returned_names and p not in ctx.comm_names
+        )
+
+    def _tag_params(self, summary: FunctionSummary) -> None:
+        params = set(self.info.params)
+        for n in _own_nodes(self.fn):
+            if not (isinstance(n, ast.Call) and self.ctx.is_comm_call(n, P2P_METHODS)):
+                continue
+            expr = _tag_expr(n)
+            if expr is None:
+                continue
+            for name in _names_in(expr) & params:
+                summary.tag_params.setdefault(name, n.lineno)
+
+    # -- call sites
+
+    def _spec_for(self, call: ast.Call) -> tuple[tuple[str, ...], str] | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in self.resolvable_names:
+                return ("name", func.id), func.id
+            return None
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name):
+                base = func.value.id
+                if base in self.ctx.comm_names:
+                    return None  # comm method, not a user call
+                if base == "self":
+                    return ("self", func.attr), f"self.{func.attr}"
+            dotted = _dotted_name(func.value)
+            if dotted is not None and dotted in self.import_prefixes:
+                return ("attr", dotted, func.attr), f"{dotted}.{func.attr}"
+        return None
+
+    def _call_sites(
+        self,
+        summary: FunctionSummary,
+        waited: set[str],
+        returned_names: set[str],
+    ) -> None:
+        from .rules import walk_calls_with_divergence
+
+        # statement-level result classification for top-level call patterns
+        kind_of: dict[int, tuple[str, str | None]] = {}
+        for st in _own_statements(self.fn):
+            if isinstance(st, ast.Expr) and isinstance(st.value, ast.Call):
+                kind_of[id(st.value)] = ("discarded", None)
+            elif isinstance(st, ast.Return) and isinstance(st.value, ast.Call):
+                kind_of[id(st.value)] = ("returned", None)
+            elif isinstance(st, ast.Assign) and len(st.targets) == 1:
+                tgt, val = st.targets[0], st.value
+                if isinstance(tgt, ast.Name) and isinstance(val, ast.Call):
+                    kind_of[id(val)] = ("named", tgt.id)
+                elif (
+                    isinstance(tgt, ast.Tuple)
+                    and isinstance(val, ast.Tuple)
+                    and len(tgt.elts) == len(val.elts)
+                ):
+                    for t, v in zip(tgt.elts, val.elts):
+                        if isinstance(t, ast.Name) and isinstance(v, ast.Call):
+                            kind_of[id(v)] = ("named", t.id)
+
+        loads = self._load_counts()
+        sites: list[CallSite] = []
+
+        def on_call(call: ast.Call, div: int | None) -> None:
+            spec_display = self._spec_for(call)
+            if spec_display is None:
+                return
+            spec, display = spec_display
+            kind, name = kind_of.get(id(call), ("other", None))
+            site = CallSite(
+                spec=spec,
+                display=display,
+                line=call.lineno,
+                div_line=div,
+                result=kind,
+                result_name=name,
+            )
+            self._record_args(site, call)
+            if kind == "returned":
+                site.result_returned = True
+            elif kind == "named" and name is not None:
+                site.result_consumed = loads.get(name, 0) > 0
+                site.result_waited = name in waited
+                site.result_returned = name in returned_names
+                site.shape_hits_taint = self._shape_delta(name, as_sized=False)
+                site.shape_hits_sized = self._shape_delta(name, as_sized=True)
+            sites.append(site)
+
+        walk_calls_with_divergence(self.ctx, on_call)
+        sites.sort(key=lambda s: (s.line, s.display))
+        summary.calls = sites
+
+    def _load_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for n in _own_nodes(self.fn):
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load):
+                counts[n.id] = counts.get(n.id, 0) + 1
+        return counts
+
+    def _record_args(self, site: CallSite, call: ast.Call) -> None:
+        ctx = self.ctx
+        for i, a in enumerate(call.args):
+            if isinstance(a, ast.Starred):
+                break  # positions past a star are unknowable
+            if isinstance(a, ast.Constant) and isinstance(a.value, int):
+                site.pos_const[i] = a.value
+            elif isinstance(a, ast.Name):
+                site.pos_names[i] = a.id
+            if ctx.is_rank_expr(a):
+                site.pos_taint.append(i)
+        for kw in call.keywords:
+            if kw.arg is None:
+                continue  # **kwargs
+            if isinstance(kw.value, ast.Constant) and isinstance(kw.value.value, int):
+                site.kw_const[kw.arg] = kw.value.value
+            elif isinstance(kw.value, ast.Name):
+                site.kw_names[kw.arg] = kw.value.id
+            if ctx.is_rank_expr(kw.value):
+                site.kw_taint.append(kw.arg)
+
+    def _shape_delta(self, name: str, as_sized: bool) -> list[tuple[str, int]]:
+        """Uniform-collective payload sites that light up when ``name`` is
+        treated as rank-tainted (scalar) or rank-sized (container)."""
+        ctx = self.ctx
+        base_sized = rank_sized_names(ctx)
+        base = {
+            (verb, line)
+            for verb, line, _ in uniform_collective_hits(ctx, base_sized)
+        }
+        if as_sized:
+            hyp_sized = rank_sized_names(ctx, extra_sized=frozenset({name}))
+            hyp_ctx = ctx
+        else:
+            hyp_ctx = FunctionContext(ctx.node, ctx.comm_names, ctx.tainted | {name})
+            hyp_sized = rank_sized_names(hyp_ctx)
+        hits = [
+            (verb, line)
+            for verb, line, _ in uniform_collective_hits(hyp_ctx, hyp_sized)
+            if (verb, line) not in base
+        ]
+        hits.sort(key=lambda h: (h[1], h[0]))
+        return hits
+
+
+def _propagate_comm_params(index: ModuleIndex) -> dict[str, set[str]]:
+    """Module-local fixpoint: which params are communicators by evidence.
+
+    Seeds: the first parameter of every entry-marked function.  Transfer:
+    a comm handle passed positionally (or by keyword) to a module-local
+    callee makes the matching callee parameter a comm.  The result feeds
+    ``build_context(extra_comms=...)`` so helpers whose comm parameter has
+    a non-standard name (``def helper(c): c.barrier()``) still summarize
+    their collectives.  Module-local on purpose — cross-file propagation
+    would make per-file summaries depend on other files' content, which
+    the incremental store cannot cache.
+    """
+    from .callgraph import _lookup_name, _scope_table
+
+    extra: dict[str, set[str]] = {}
+    for dotted, info in index.functions.items():
+        if info.is_entry and info.params:
+            extra.setdefault(dotted, set()).add(info.params[0])
+    scopes = _scope_table(index)
+    for _ in range(len(index.functions) + 1):
+        changed = False
+        for dotted, info in index.functions.items():
+            if info.node is None:
+                continue
+            ctx = build_context(info.node, extra_comms=extra.get(dotted, ()))
+            if not ctx.comm_names:
+                continue
+            for n in _own_nodes(info.node):
+                if not (isinstance(n, ast.Call) and isinstance(n.func, ast.Name)):
+                    continue
+                hit = _lookup_name(scopes, f"{dotted}.{LOCALS_SEP}", n.func.id)
+                if hit is None or not hit.params:
+                    continue
+                bound: list[str] = []
+                for i, a in enumerate(n.args):
+                    if (
+                        isinstance(a, ast.Name)
+                        and a.id in ctx.comm_names
+                        and i < len(hit.params)
+                    ):
+                        bound.append(hit.params[i])
+                for kw in n.keywords:
+                    if (
+                        kw.arg is not None
+                        and isinstance(kw.value, ast.Name)
+                        and kw.value.id in ctx.comm_names
+                        and kw.arg in hit.params
+                    ):
+                        bound.append(kw.arg)
+                if bound:
+                    s = extra.setdefault(hit.dotted, set())
+                    fresh = set(bound) - s
+                    if fresh:
+                        s |= fresh
+                        changed = True
+        if not changed:
+            break
+    return extra
+
+
+def summarize_module(mod: ModuleInfo, index: ModuleIndex | None = None) -> ModuleSummary:
+    """Summarize every function of a parsed module (cold path)."""
+    if index is None:
+        index = index_module(mod)
+    resolvable = set(index.import_symbols)
+    resolvable.update(fn.name for fn in index.functions.values())
+    prefixes = set(index.import_modules) | set(index.import_symbols)
+    extra_comms = _propagate_comm_params(index)
+    out = ModuleSummary(index=index)
+    for dotted, info in index.functions.items():
+        if info.node is None:
+            continue
+        ctx = build_context(
+            info.node, extra_comms=frozenset(extra_comms.get(dotted, ()))
+        )
+        out.functions[dotted] = _Summarizer(
+            mod, info, ctx, resolvable, prefixes
+        ).run()
+    return out
+
+
+# ------------------------------------------------------ whole-program phase
+
+
+@dataclass
+class _Facts:
+    """Propagated (transitive) facts for one function."""
+
+    #: (display, path, line, chain-of-function-names) of a witness collective
+    collective: tuple[str, str, int, tuple[str, ...]] | None = None
+    #: {(verb, path, line)} of requests escaping through the return value
+    escapes: frozenset[tuple[str, str, int]] = frozenset()
+    returns_taint: tuple[str, int] | None = None  #: (path, line) witness
+    returns_sized: tuple[str, int] | None = None
+    #: param name -> (path, line) of the p2p tag use it (transitively) feeds
+    tag_params: dict[str, tuple[str, int]] = field(default_factory=dict)
+    taint_params_to_return: frozenset[str] = frozenset()
+
+
+def _param_at(callee: FunctionNode, site: CallSite, pos: int | None, kw: str | None) -> str | None:
+    """Callee parameter bound by a positional index or keyword name."""
+    if kw is not None:
+        return kw if kw in callee.params else None
+    assert pos is not None
+    offset = 1 if site.spec[0] == "self" else 0
+    idx = pos + offset
+    if 0 <= idx < len(callee.params):
+        return callee.params[idx]
+    return None
+
+
+class _Program:
+    def __init__(self, summaries: Iterable[ModuleSummary]) -> None:
+        self.modules = list(summaries)
+        self.graph = CallGraph([m.index for m in self.modules])
+        self.summary: dict[str, FunctionSummary] = {}
+        self.path_of: dict[str, str] = {}
+        self.modname_of: dict[str, str] = {}
+        for m in self.modules:
+            for dotted, fs in m.functions.items():
+                key = self.graph.key(m.path, dotted)
+                self.summary[key] = fs
+                self.path_of[key] = m.path
+                self.modname_of[key] = m.modname
+        # resolve call sites once; key -> [(site, callee_key)]
+        self.resolved: dict[str, list[tuple[CallSite, str]]] = {}
+        for key, fs in self.summary.items():
+            path = self.path_of[key]
+            out: list[tuple[CallSite, str]] = []
+            for site in fs.calls:
+                callee = self.graph.resolve(path, fs.dotted, site.spec)
+                if callee is None or callee not in self.summary:
+                    continue
+                out.append((site, callee))
+                self.graph.add_edge(key, callee)
+            self.resolved[key] = out
+        self.facts: dict[str, _Facts] = {k: _Facts() for k in self.summary}
+
+    # -- propagation
+
+    def propagate(self) -> None:
+        for scc in self.graph.sccs_bottom_up():
+            in_scope = [k for k in scc if k in self.summary]
+            changed = True
+            while changed:
+                changed = False
+                for key in in_scope:
+                    if self._update(key):
+                        changed = True
+
+    def _update(self, key: str) -> bool:
+        fs = self.summary[key]
+        path = self.path_of[key]
+        f = self.facts[key]
+        changed = False
+
+        # collectives: own first, else inherit the smallest witness
+        if f.collective is None:
+            witness: tuple[str, str, int, tuple[str, ...]] | None = None
+            if fs.collectives:
+                disp, line = min(fs.collectives, key=lambda c: (c[1], c[0]))
+                witness = (disp, path, line, ())
+            else:
+                candidates = []
+                for site, callee in self.resolved[key]:
+                    cw = self.facts[callee].collective
+                    if cw is not None:
+                        cname = self.summary[callee].name
+                        candidates.append((cw[0], cw[1], cw[2], (cname, *cw[3])))
+                if candidates:
+                    witness = min(candidates, key=lambda w: (w[1], w[2], w[0]))
+            if witness is not None:
+                f.collective = witness
+                changed = True
+
+        # escaping requests: own plus those inherited through returned calls
+        esc = {(verb, path, line) for verb, line in fs.escaping}
+        for site, callee in self.resolved[key]:
+            if site.result_returned and not site.result_waited:
+                esc |= self.facts[callee].escapes
+        esc_frozen = frozenset(esc)
+        if esc_frozen != f.escapes:
+            f.escapes = esc_frozen
+            changed = True
+
+        # rank-tainted / rank-sized returns
+        if f.returns_taint is None:
+            w = None
+            if fs.returns_taint and fs.returns_taint_line is not None:
+                w = (path, fs.returns_taint_line)
+            else:
+                for site, callee in self.resolved[key]:
+                    if not site.result_returned:
+                        continue
+                    cf = self.facts[callee]
+                    if cf.returns_taint is not None:
+                        w = cf.returns_taint
+                        break
+                    if self._tainted_args_reach_return(site, callee):
+                        cs = self.summary[callee]
+                        w = (self.path_of[callee], cs.line)
+                        break
+            if w is not None:
+                f.returns_taint = w
+                changed = True
+        if f.returns_sized is None:
+            w = None
+            if fs.returns_sized and fs.returns_sized_line is not None:
+                w = (path, fs.returns_sized_line)
+            else:
+                for site, callee in self.resolved[key]:
+                    if site.result_returned and self.facts[callee].returns_sized:
+                        w = self.facts[callee].returns_sized
+                        break
+            if w is not None:
+                f.returns_sized = w
+                changed = True
+
+        # taint-through params: local, plus params forwarded to a callee
+        # whose own taint-params reach its return on a returned call
+        t2r = set(fs.taint_params_to_return)
+        for site, callee in self.resolved[key]:
+            if not site.result_returned:
+                continue
+            cf = self.facts[callee]
+            callee_node = self.graph.node(callee)
+            if callee_node is None:
+                continue
+            for pos, name in site.pos_names.items():
+                if name in fs.params:
+                    p = _param_at(callee_node, site, pos, None)
+                    if p is not None and p in cf.taint_params_to_return:
+                        t2r.add(name)
+            for kw, name in site.kw_names.items():
+                if name in fs.params:
+                    p = _param_at(callee_node, site, None, kw)
+                    if p is not None and p in cf.taint_params_to_return:
+                        t2r.add(name)
+        t2r_frozen = frozenset(t2r)
+        if t2r_frozen != f.taint_params_to_return:
+            f.taint_params_to_return = t2r_frozen
+            changed = True
+
+        # tag params: local, plus params forwarded into a callee's tag param
+        tags = {p: (path, line) for p, line in fs.tag_params.items()}
+        tags.update(f.tag_params)
+        for site, callee in self.resolved[key]:
+            cf = self.facts[callee]
+            callee_node = self.graph.node(callee)
+            if callee_node is None or not cf.tag_params:
+                continue
+            for pos, name in site.pos_names.items():
+                if name in fs.params:
+                    p = _param_at(callee_node, site, pos, None)
+                    if p is not None and p in cf.tag_params and name not in tags:
+                        tags[name] = cf.tag_params[p]
+            for kw, name in site.kw_names.items():
+                if name in fs.params:
+                    p = _param_at(callee_node, site, None, kw)
+                    if p is not None and p in cf.tag_params and name not in tags:
+                        tags[name] = cf.tag_params[p]
+        if tags != f.tag_params:
+            f.tag_params = tags
+            changed = True
+
+        return changed
+
+    def _tainted_args_reach_return(self, site: CallSite, callee: str) -> bool:
+        cf = self.facts[callee]
+        callee_node = self.graph.node(callee)
+        if callee_node is None:
+            return False
+        for pos in site.pos_taint:
+            p = _param_at(callee_node, site, pos, None)
+            if p is not None and p in cf.taint_params_to_return:
+                return True
+        for kw in site.kw_taint:
+            p = _param_at(callee_node, site, None, kw)
+            if p is not None and p in cf.taint_params_to_return:
+                return True
+        return False
+
+    # -- rules
+
+    def findings(self) -> list[Finding]:
+        out: list[Finding] = []
+        out.extend(self._escaped_requests())
+        out.extend(self._div_collectives())
+        out.extend(self._tag_collisions())
+        out.extend(self._rank_taint_shapes())
+        return out
+
+    def _escaped_requests(self) -> list[Finding]:
+        out: list[Finding] = []
+        for key in sorted(self.summary):
+            path = self.path_of[key]
+            for site, callee in self.resolved[key]:
+                esc = self.facts[callee].escapes
+                if not esc:
+                    continue
+                if site.result == "discarded":
+                    how = "the call result is discarded"
+                elif site.result == "named" and not site.result_consumed:
+                    how = f"'{site.result_name}' is never used afterwards"
+                else:
+                    continue
+                for verb, epath, eline in sorted(esc, key=lambda e: (e[1], e[2])):
+                    out.append(
+                        Finding(
+                            path,
+                            site.line,
+                            RULE_ESCAPED_REQUEST,
+                            f"Request created by '{verb}()' at {epath}:{eline} "
+                            f"escapes through '{site.display}()' and is never "
+                            f"waited anywhere ({how}); wait on the returned "
+                            "request or drain it before the epoch ends",
+                            related=((epath, eline),),
+                        )
+                    )
+        return out
+
+    def _div_collectives(self) -> list[Finding]:
+        out: list[Finding] = []
+        for key in sorted(self.summary):
+            path = self.path_of[key]
+            for site, callee in self.resolved[key]:
+                if site.div_line is None:
+                    continue
+                w = self.facts[callee].collective
+                if w is None:
+                    continue
+                disp, wpath, wline, chain = w
+                # chain lists the functions between the callee and the one
+                # holding the collective, outermost first
+                via = " via " + " -> ".join(chain) if chain else ""
+                out.append(
+                    Finding(
+                        path,
+                        site.line,
+                        RULE_INTERPROC_DIV,
+                        f"call to '{site.display}()' is only reached under "
+                        f"rank-dependent control flow (divergence starts at "
+                        f"line {site.div_line}), but it issues collective "
+                        f"'{disp}()' at {wpath}:{wline}{via}; every rank of "
+                        "the communicator must issue it",
+                        related=((wpath, wline),),
+                    )
+                )
+        return out
+
+    def _tag_collisions(self) -> list[Finding]:
+        # (callee key, param, value) -> [(caller path, modname, line, display)]
+        groups: dict[
+            tuple[str, str, int], list[tuple[str, str, int, str]]
+        ] = {}
+        for key in sorted(self.summary):
+            path = self.path_of[key]
+            modname = self.modname_of[key]
+            for site, callee in self.resolved[key]:
+                cf = self.facts[callee]
+                callee_node = self.graph.node(callee)
+                if callee_node is None or not cf.tag_params:
+                    continue
+                bindings: list[tuple[str | None, int]] = [
+                    (_param_at(callee_node, site, pos, None), v)
+                    for pos, v in site.pos_const.items()
+                ] + [
+                    (_param_at(callee_node, site, None, kw), v)
+                    for kw, v in site.kw_const.items()
+                ]
+                for param, value in bindings:
+                    if param is None or param not in cf.tag_params:
+                        continue
+                    if value in _TAG_EXEMPT:
+                        continue
+                    groups.setdefault((callee, param, value), []).append(
+                        (path, modname, site.line, site.display)
+                    )
+        out: list[Finding] = []
+        for (callee, param, value), sites in sorted(groups.items()):
+            modnames = {m for _, m, _, _ in sites}
+            if len(modnames) < 2:
+                continue
+            tpath, tline = self.facts[callee].tag_params[param]
+            cname = self.summary[callee].name
+            for path, modname, line, display in sites:
+                others = sorted(m for m in modnames if m != modname)
+                out.append(
+                    Finding(
+                        path,
+                        line,
+                        RULE_INTERPROC_TAG,
+                        f"tag constant {value} funnels into parameter "
+                        f"'{param}' of '{cname}()' (p2p tag at {tpath}:{tline}) "
+                        f"from multiple modules ({', '.join(others)} also "
+                        "calls it with the same value); unrelated protocols "
+                        "cross-match messages — disambiguate the tag per "
+                        "call site or allocate namespaces in repro.mpi.tags",
+                        related=((tpath, tline),),
+                    )
+                )
+        return out
+
+    def _rank_taint_shapes(self) -> list[Finding]:
+        out: list[Finding] = []
+        seen: set[tuple[str, int, str]] = set()
+        for key in sorted(self.summary):
+            path = self.path_of[key]
+            for site, callee in self.resolved[key]:
+                cf = self.facts[callee]
+                cname = self.summary[callee].name
+                taint_origin = cf.returns_taint
+                if taint_origin is None and self._tainted_args_reach_return(
+                    site, callee
+                ):
+                    taint_origin = (self.path_of[callee], self.summary[callee].line)
+                if taint_origin is not None:
+                    for verb, hline in site.shape_hits_taint:
+                        dkey = (path, hline, verb)
+                        if dkey in seen:
+                            continue
+                        seen.add(dkey)
+                        out.append(
+                            Finding(
+                                path,
+                                hline,
+                                RULE_RANK_TAINT_SHAPE,
+                                f"payload of '{verb}()' has a length derived "
+                                f"from '{cname}()' which returns a "
+                                f"rank-dependent value ({taint_origin[0]}:"
+                                f"{taint_origin[1]}); '{verb}' requires the "
+                                "same shape on every rank — pad to a common "
+                                "size or use alltoallv/gather",
+                                related=(taint_origin,),
+                            )
+                        )
+                if cf.returns_sized is not None:
+                    for verb, hline in site.shape_hits_sized:
+                        dkey = (path, hline, verb)
+                        if dkey in seen:
+                            continue
+                        seen.add(dkey)
+                        out.append(
+                            Finding(
+                                path,
+                                hline,
+                                RULE_RANK_TAINT_SHAPE,
+                                f"payload of '{verb}()' is a container from "
+                                f"'{cname}()' which returns a rank-dependent "
+                                f"length ({cf.returns_sized[0]}:"
+                                f"{cf.returns_sized[1]}); '{verb}' requires "
+                                "the same shape on every rank — pad to a "
+                                "common size or use alltoallv/gather",
+                                related=(cf.returns_sized,),
+                            )
+                        )
+        return out
+
+
+def check_program(summaries: Iterable[ModuleSummary]) -> list[Finding]:
+    """Run the four interprocedural rules over module summaries."""
+    prog = _Program(summaries)
+    prog.propagate()
+    return prog.findings()

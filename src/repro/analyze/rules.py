@@ -47,7 +47,21 @@ from .dataflow import (
     check_function as _dataflow_rules,
 )
 
-__all__ = ["RULES", "check_module", "check_tags"]
+from .interproc import (
+    RULE_ESCAPED_REQUEST,
+    RULE_INTERPROC_DIV,
+    RULE_INTERPROC_TAG,
+    RULE_RANK_TAINT_SHAPE,
+)
+
+__all__ = [
+    "RULES",
+    "check_module",
+    "check_tags",
+    "module_tag_sites",
+    "join_literal_tags",
+    "walk_calls_with_divergence",
+]
 
 RULE_DIV_COLLECTIVE = "SPMD-DIV-COLLECTIVE"
 RULE_UNWAITED = "SPMD-UNWAITED-REQUEST"
@@ -60,17 +74,24 @@ RULE_WALLCLOCK = "SPMD-WALLCLOCK"
 class Rule:
     id: str
     summary: str
+    #: "intra" = one function, "cross" = whole fileset but syntactic,
+    #: "inter" = interprocedural dataflow over the call graph
+    layer: str = "intra"
 
 
 RULES: tuple[Rule, ...] = (
     Rule(RULE_DIV_COLLECTIVE, "collective reachable only under rank-dependent control flow"),
     Rule(RULE_UNWAITED, "isend/irecv Request discarded or never waited"),
     Rule(RULE_BLOCKING_CYCLE, "symmetric blocking send/send or recv/recv across a rank branch"),
-    Rule(RULE_TAG_COLLISION, "literal tag collides across modules or invades a foreign namespace"),
+    Rule(RULE_TAG_COLLISION, "literal tag collides across modules or invades a foreign namespace", "cross"),
     Rule(RULE_WALLCLOCK, "wall-clock / nondeterministic source inside a rank function"),
     Rule(RULE_BUFFER_REUSE, "buffer written between isend() and its request's wait()"),
     Rule(RULE_VIEW_SEND, "payload of a send is a numpy view expression without .copy()"),
     Rule(RULE_SHAPE_MISMATCH, "uniform-shape collective fed a rank-dependent-length payload"),
+    Rule(RULE_ESCAPED_REQUEST, "request escapes a callee's return value and is never waited", "inter"),
+    Rule(RULE_INTERPROC_TAG, "tag constant funnels into the same helper tag parameter from multiple modules", "inter"),
+    Rule(RULE_INTERPROC_DIV, "rank-divergent call leads transitively to a collective inside a callee", "inter"),
+    Rule(RULE_RANK_TAINT_SHAPE, "helper's rank-dependent return feeds a uniform-shape collective payload", "inter"),
 )
 
 
@@ -85,22 +106,16 @@ def _terminates(stmts: list[ast.stmt]) -> bool:
     )
 
 
-def _div_collective(mod: ModuleInfo, ctx: FunctionContext) -> list[Finding]:
-    findings: list[Finding] = []
+def walk_calls_with_divergence(ctx: FunctionContext, on_call) -> None:
+    """Walk a function body tracking rank-divergent control-flow context.
 
-    def report(call: ast.Call, div_line: int) -> None:
-        assert isinstance(call.func, ast.Attribute)
-        name = f"{call.func.value.id}.{call.func.attr}"  # type: ignore[attr-defined]
-        findings.append(
-            Finding(
-                mod.path,
-                call.lineno,
-                RULE_DIV_COLLECTIVE,
-                f"collective '{name}()' is only reached under rank-dependent "
-                f"control flow (divergence starts at line {div_line}); every "
-                "rank of the communicator must issue it",
-            )
-        )
+    ``on_call(call, div)`` fires for every :class:`ast.Call` in the body
+    (nested scopes excluded) with ``div`` the line where rank-dependent
+    control flow began, or ``None`` on uniformly-reached paths.  Shared by
+    the intraprocedural ``SPMD-DIV-COLLECTIVE`` rule and the
+    interprocedural ``SPMD-INTERPROC-DIV-COLLECTIVE`` rule so both agree
+    on what "divergent" means.
+    """
 
     def visit_expr(expr: ast.expr, div: int | None) -> None:
         if isinstance(expr, ast.IfExp):
@@ -111,9 +126,8 @@ def _div_collective(mod: ModuleInfo, ctx: FunctionContext) -> list[Finding]:
             visit_expr(expr.body, branch)
             visit_expr(expr.orelse, branch)
             return
-        if isinstance(expr, ast.Call) and ctx.is_comm_call(expr, COLLECTIVE_METHODS):
-            if div is not None:
-                report(expr, div)
+        if isinstance(expr, ast.Call):
+            on_call(expr, div)
         for child in ast.iter_child_nodes(expr):
             if isinstance(child, ast.expr):
                 visit_expr(child, div)
@@ -170,6 +184,28 @@ def _div_collective(mod: ModuleInfo, ctx: FunctionContext) -> list[Finding]:
                 visit_stmt_exprs(st, local_div)
 
     walk(ctx.node.body, None)
+
+
+def _div_collective(mod: ModuleInfo, ctx: FunctionContext) -> list[Finding]:
+    findings: list[Finding] = []
+
+    def on_call(call: ast.Call, div: int | None) -> None:
+        if div is None or not ctx.is_comm_call(call, COLLECTIVE_METHODS):
+            return
+        assert isinstance(call.func, ast.Attribute)
+        name = f"{call.func.value.id}.{call.func.attr}"  # type: ignore[attr-defined]
+        findings.append(
+            Finding(
+                mod.path,
+                call.lineno,
+                RULE_DIV_COLLECTIVE,
+                f"collective '{name}()' is only reached under rank-dependent "
+                f"control flow (divergence starts at line {div}); every "
+                "rank of the communicator must issue it",
+            )
+        )
+
+    walk_calls_with_divergence(ctx, on_call)
     return findings
 
 
@@ -453,86 +489,101 @@ def _owner_of_literal(value: int) -> tuple[str, str] | None:
     return None
 
 
-def check_tags(mods: list[ModuleInfo]) -> list[Finding]:
-    """Cross-module tag audit (SPMD-TAG-COLLISION)."""
+def module_tag_sites(mod: ModuleInfo) -> tuple[list[Finding], list[tuple[int, int]]]:
+    """Per-module half of the tag audit.
+
+    Returns the module-local findings (namespace borrowing, literals inside
+    a foreign namespace) plus the free-literal ``(value, line)`` sites that
+    feed the cross-module collision join.  Both halves are derived from one
+    file only, so the incremental store can cache them per file; the cheap
+    join (:func:`join_literal_tags`) re-runs on every analysis.
+    """
     findings: list[Finding] = []
-    # literal value -> list of (module, line)
-    literals: dict[int, list[tuple[ModuleInfo, int]]] = {}
+    sites: list[tuple[int, int]] = []
+    imports = _tags_imports(mod)
+    bases = _namespace_bases()
+    for node in ast.walk(mod.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _TAG_ARG_INDEX
+        ):
+            continue
+        expr = _tag_expr(node)
+        if expr is None:
+            continue
+        base_name: str | None = None
+        literal: int | None = None
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, int):
+            literal = expr.value
+        elif isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Add):
+            if isinstance(expr.left, ast.Name):
+                base_name = expr.left.id
+            elif isinstance(expr.left, ast.Constant) and isinstance(expr.left.value, int):
+                literal = expr.left.value
+        elif isinstance(expr, ast.Name):
+            base_name = expr.id
 
-    for mod in mods:
-        imports = _tags_imports(mod)
-        bases = _namespace_bases()
-        for node in ast.walk(mod.tree):
-            if not (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr in _TAG_ARG_INDEX
-            ):
-                continue
-            expr = _tag_expr(node)
-            if expr is None:
-                continue
-            base_name: str | None = None
-            literal: int | None = None
-            if isinstance(expr, ast.Constant) and isinstance(expr.value, int):
-                literal = expr.value
-            elif isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Add):
-                if isinstance(expr.left, ast.Name):
-                    base_name = expr.left.id
-                elif isinstance(expr.left, ast.Constant) and isinstance(expr.left.value, int):
-                    literal = expr.left.value
-            elif isinstance(expr, ast.Name):
-                base_name = expr.id
+        if base_name is not None:
+            attr = imports.get(base_name)
+            if attr is None:
+                continue  # not a tags.* constant; out of scope
+            from repro.mpi import tags as tags_mod
 
-            if base_name is not None:
-                attr = imports.get(base_name)
-                if attr is None:
-                    continue  # not a tags.* constant; out of scope
-                from repro.mpi import tags as tags_mod
-
-                base_val = getattr(tags_mod, attr, None)
-                if isinstance(base_val, int) and base_val in bases:
-                    key, owner = bases[base_val]
-                    if mod.modname and owner and not _same_module(mod.modname, owner):
-                        findings.append(
-                            Finding(
-                                mod.path,
-                                node.lineno,
-                                RULE_TAG_COLLISION,
-                                f"tag namespace '{key}' (base {base_val}) is "
-                                f"owned by {owner}; allocate a namespace in "
-                                "repro.mpi.tags instead of borrowing one",
-                            )
-                        )
-                continue
-
-            if literal is None or literal in _TAG_EXEMPT:
-                continue
-            hit = _owner_of_literal(literal)
-            if hit is not None:
-                key, owner = hit
-                if not _same_module(mod.modname, owner):
+            base_val = getattr(tags_mod, attr, None)
+            if isinstance(base_val, int) and base_val in bases:
+                key, owner = bases[base_val]
+                if mod.modname and owner and not _same_module(mod.modname, owner):
                     findings.append(
                         Finding(
                             mod.path,
                             node.lineno,
                             RULE_TAG_COLLISION,
-                            f"literal tag {literal} falls inside namespace "
-                            f"'{key}' owned by {owner}; pick a tag from "
-                            "repro.mpi.tags (USER_BASE) instead",
+                            f"tag namespace '{key}' (base {base_val}) is "
+                            f"owned by {owner}; allocate a namespace in "
+                            "repro.mpi.tags instead of borrowing one",
                         )
                     )
-                continue
-            literals.setdefault(literal, []).append((mod, node.lineno))
+            continue
 
-    for value, sites in literals.items():
-        owners = {m.modname for m, _ in sites}
-        if len(owners) > 1:
-            for mod, line in sites:
-                others = sorted(o for o in owners if o != mod.modname)
+        if literal is None or literal in _TAG_EXEMPT:
+            continue
+        hit = _owner_of_literal(literal)
+        if hit is not None:
+            key, owner = hit
+            if not _same_module(mod.modname, owner):
                 findings.append(
                     Finding(
                         mod.path,
+                        node.lineno,
+                        RULE_TAG_COLLISION,
+                        f"literal tag {literal} falls inside namespace "
+                        f"'{key}' owned by {owner}; pick a tag from "
+                        "repro.mpi.tags (USER_BASE) instead",
+                    )
+                )
+            continue
+        sites.append((literal, node.lineno))
+    return findings, sites
+
+
+def join_literal_tags(
+    sites: list[tuple[str, str, int, int]]
+) -> list[Finding]:
+    """Cross-module collision join over ``(modname, path, value, line)``
+    free-literal sites collected by :func:`module_tag_sites`."""
+    literals: dict[int, list[tuple[str, str, int]]] = {}
+    for modname, path, value, line in sites:
+        literals.setdefault(value, []).append((modname, path, line))
+    findings: list[Finding] = []
+    for value, hits in literals.items():
+        owners = {m for m, _, _ in hits}
+        if len(owners) > 1:
+            for modname, path, line in hits:
+                others = sorted(o for o in owners if o != modname)
+                findings.append(
+                    Finding(
+                        path,
                         line,
                         RULE_TAG_COLLISION,
                         f"literal tag {value} is also used by "
@@ -541,6 +592,18 @@ def check_tags(mods: list[ModuleInfo]) -> list[Finding]:
                         "namespaces in repro.mpi.tags",
                     )
                 )
+    return findings
+
+
+def check_tags(mods: list[ModuleInfo]) -> list[Finding]:
+    """Cross-module tag audit (SPMD-TAG-COLLISION)."""
+    findings: list[Finding] = []
+    all_sites: list[tuple[str, str, int, int]] = []
+    for mod in mods:
+        mod_findings, mod_sites = module_tag_sites(mod)
+        findings.extend(mod_findings)
+        all_sites.extend((mod.modname, mod.path, v, l) for v, l in mod_sites)
+    findings.extend(join_literal_tags(all_sites))
     return findings
 
 

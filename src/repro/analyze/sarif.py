@@ -34,6 +34,7 @@ def _rule_catalogue() -> list[dict]:
             "id": rule.id,
             "shortDescription": {"text": rule.summary},
             "defaultConfiguration": {"level": "warning"},
+            "properties": {"layer": rule.layer},
         }
         for rule in RULES
     ]
@@ -47,8 +48,20 @@ def _rule_catalogue() -> list[dict]:
     return rules
 
 
-def _result(finding: Finding, rule_index: dict[str, int]) -> dict:
+def _location(path: str, line: int) -> dict:
     return {
+        "physicalLocation": {
+            "artifactLocation": {
+                "uri": path.replace("\\", "/"),
+                "uriBaseId": "SRCROOT",
+            },
+            "region": {"startLine": max(line, 1)},
+        }
+    }
+
+
+def _result(finding: Finding, rule_index: dict[str, int]) -> dict:
+    out = {
         "ruleId": finding.rule,
         **(
             {"ruleIndex": rule_index[finding.rule]}
@@ -57,18 +70,16 @@ def _result(finding: Finding, rule_index: dict[str, int]) -> dict:
         ),
         "level": "error" if finding.rule in _ERROR_RULES else "warning",
         "message": {"text": finding.message},
-        "locations": [
-            {
-                "physicalLocation": {
-                    "artifactLocation": {
-                        "uri": finding.path.replace("\\", "/"),
-                        "uriBaseId": "SRCROOT",
-                    },
-                    "region": {"startLine": max(finding.line, 1)},
-                }
-            }
-        ],
+        "locations": [_location(finding.path, finding.line)],
     }
+    if finding.related:
+        # secondary locations of interprocedural findings — e.g. the
+        # collective inside the callee when the primary location is the
+        # divergent call site in another file
+        out["relatedLocations"] = [
+            _location(path, line) for path, line in finding.related
+        ]
+    return out
 
 
 def to_sarif(findings: Iterable[Finding]) -> dict:

@@ -2,11 +2,36 @@
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.machine import abstract_cluster
 from repro.mpi import run_spmd
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_analyze_store():
+    """Keep analyzer CLI subprocesses away from the user's real store.
+
+    The lint CLI persists per-file records under ``~/.cache`` by default;
+    tests must neither read a developer's warm store (their hit/miss
+    assertions would flake) nor pollute it with fixture files.
+    """
+    import os
+
+    with tempfile.TemporaryDirectory(prefix="repro-analyze-test-") as tmp:
+        old = os.environ.get("REPRO_ANALYZE_CACHE")
+        os.environ["REPRO_ANALYZE_CACHE"] = str(Path(tmp) / "analyze.json")
+        try:
+            yield
+        finally:
+            if old is None:
+                os.environ.pop("REPRO_ANALYZE_CACHE", None)
+            else:
+                os.environ["REPRO_ANALYZE_CACHE"] = old
 
 
 @pytest.fixture

@@ -127,7 +127,7 @@ def test_revoke_hoists_blocked_receiver():
             comm.revoke()
             return comm.agree(True)
         try:
-            comm.recv(source=0, tag=5)  # rank 0 will never send
+            comm.recv(source=0, tag=5)  # rank 0 will never send  # spmd: ignore[TAG-COLLISION]
         except CommRevokedError:
             return comm.agree(True)
         return "not hoisted"

@@ -37,7 +37,7 @@ def test_peer_death_unblocks_alltoallv():
             raise Boom("rank 1 dies before the exchange")
         chunks = [np.full(4, comm.rank, dtype=np.int64)
                   for _ in range(comm.size)]
-        comm.alltoallv(chunks)
+        comm.alltoallv(chunks)  # spmd: ignore[DIV-COLLECTIVE]
         return "unreachable"
 
     with pytest.raises(SPMDError) as excinfo:
@@ -49,7 +49,7 @@ def test_peer_death_unblocks_barrier():
     def prog(comm):
         if comm.rank == 2:
             raise Boom("rank 2 dies before the barrier")
-        comm.barrier()
+        comm.barrier()  # spmd: ignore[DIV-COLLECTIVE]
         return "unreachable"
 
     with pytest.raises(SPMDError) as excinfo:
@@ -78,8 +78,8 @@ def test_death_mid_collective_sequence():
         comm.barrier()
         if comm.rank == 3:
             raise Boom("rank 3 dies between collectives")
-        comm.allreduce(comm.rank)
-        comm.barrier()
+        comm.allreduce(comm.rank)  # spmd: ignore[DIV-COLLECTIVE]
+        comm.barrier()  # spmd: ignore[DIV-COLLECTIVE]
         return "unreachable"
 
     with pytest.raises(SPMDError) as excinfo:

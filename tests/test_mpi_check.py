@@ -23,8 +23,8 @@ class TestCollectiveCongruence:
     def test_mismatched_op_names(self):
         def prog(comm):
             if comm.rank == 0:
-                return comm.bcast(1, root=0)
-            return comm.allreduce(1)
+                return comm.bcast(1, root=0)  # spmd: ignore[DIV-COLLECTIVE]
+            return comm.allreduce(1)  # spmd: ignore[DIV-COLLECTIVE]
 
         with pytest.raises(SPMDError) as ei:
             run_spmd(2, prog, check=True, timeout=30)
@@ -57,8 +57,8 @@ class TestDeadlockDetection:
     def test_recv_recv_cycle(self):
         def prog(comm):
             peer = 1 - comm.rank
-            got = comm.recv(source=peer, tag=7)
-            comm.send(comm.rank, peer, tag=7)
+            got = comm.recv(source=peer, tag=7)  # spmd: ignore[TAG-COLLISION]
+            comm.send(comm.rank, peer, tag=7)  # spmd: ignore[TAG-COLLISION]
             return got
 
         with pytest.raises(SPMDError) as ei:
@@ -97,7 +97,7 @@ class TestDeadlockDetection:
         # Same clean program without the checker: no interference.
         def prog(comm):
             peer = 1 - comm.rank
-            return comm.sendrecv(comm.rank, peer, tag=1)
+            return comm.sendrecv(comm.rank, peer, tag=1)  # spmd: ignore[TAG-COLLISION]
 
         assert run_spmd(2, prog, check=False, timeout=30) == [1, 0]
 
@@ -106,7 +106,7 @@ class TestFinalizeAccounting:
     def test_leak_warns_unchecked(self):
         def prog(comm):
             if comm.rank == 0:
-                comm.send(b"orphan", 1, tag=9)
+                comm.send(b"orphan", 1, tag=9)  # spmd: ignore[TAG-COLLISION]
             return None
 
         with pytest.warns(RuntimeWarning, match=r"src=0, dest=1, tag=9"):
@@ -115,7 +115,7 @@ class TestFinalizeAccounting:
     def test_leak_raises_checked(self):
         def prog(comm):
             if comm.rank == 0:
-                comm.send(b"orphan", 1, tag=9)
+                comm.send(b"orphan", 1, tag=9)  # spmd: ignore[TAG-COLLISION]
             return None
 
         with pytest.raises(MessageLeakError, match=r"src=0 dest=1 tag=9"):
@@ -125,7 +125,7 @@ class TestFinalizeAccounting:
     def test_pending_irecv_raises_checked(self):
         def prog(comm):
             if comm.rank == 0:
-                req = comm.irecv(source=1, tag=4)
+                req = comm.irecv(source=1, tag=4)  # spmd: ignore[UNWAITED-REQUEST]
                 del req  # never waited  # spmd: ignore[SPMD-UNWAITED-REQUEST]
             return None
 
@@ -135,8 +135,8 @@ class TestFinalizeAccounting:
     def test_clean_run_no_warning(self, recwarn):
         def prog(comm):
             peer = 1 - comm.rank
-            comm.send(comm.rank, peer, tag=2)
-            return comm.recv(source=peer, tag=2)
+            comm.send(comm.rank, peer, tag=2)  # spmd: ignore[TAG-COLLISION]
+            return comm.recv(source=peer, tag=2)  # spmd: ignore[TAG-COLLISION]
 
         assert run_spmd(2, prog, check=True, timeout=30) == [1, 0]
         assert not [w for w in recwarn if issubclass(w.category, RuntimeWarning)]
@@ -146,8 +146,8 @@ class TestRequestIdempotency:
     def test_wait_twice_returns_same_payload(self, run):
         def prog(comm):
             peer = 1 - comm.rank
-            req = comm.irecv(source=peer, tag=5)
-            comm.send({"from": comm.rank}, peer, tag=5)
+            req = comm.irecv(source=peer, tag=5)  # spmd: ignore[TAG-COLLISION]
+            comm.send({"from": comm.rank}, peer, tag=5)  # spmd: ignore[TAG-COLLISION]
             first = req.wait()
             second = req.wait()  # idempotent: must not re-receive
             assert second is first

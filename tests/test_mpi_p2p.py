@@ -34,11 +34,11 @@ class TestSendRecv:
     def test_tag_matching(self, run):
         def prog(comm):
             if comm.rank == 0:
-                comm.send("a", dest=1, tag=1)
-                comm.send("b", dest=1, tag=2)
+                comm.send("a", dest=1, tag=1)  # spmd: ignore[TAG-COLLISION]
+                comm.send("b", dest=1, tag=2)  # spmd: ignore[TAG-COLLISION]
                 return None
-            first = comm.recv(source=0, tag=2)
-            second = comm.recv(source=0, tag=1)
+            first = comm.recv(source=0, tag=2)  # spmd: ignore[TAG-COLLISION]
+            second = comm.recv(source=0, tag=1)  # spmd: ignore[TAG-COLLISION]
             return first, second
 
         assert run(2, prog)[1] == ("b", "a")
@@ -47,9 +47,9 @@ class TestSendRecv:
         def prog(comm):
             if comm.rank == 0:
                 for i in range(5):
-                    comm.send(i, dest=1, tag=9)
+                    comm.send(i, dest=1, tag=9)  # spmd: ignore[TAG-COLLISION]
                 return None
-            return [comm.recv(source=0, tag=9) for _ in range(5)]
+            return [comm.recv(source=0, tag=9) for _ in range(5)]  # spmd: ignore[TAG-COLLISION]
 
         assert run(2, prog)[1] == [0, 1, 2, 3, 4]
 
@@ -126,13 +126,13 @@ class TestNonBlocking:
     def test_irecv_test_before_arrival(self, run):
         def prog(comm):
             if comm.rank == 1:
-                req = comm.irecv(source=0, tag=7)
+                req = comm.irecv(source=0, tag=7)  # spmd: ignore[TAG-COLLISION]
                 done, _ = req.test()  # nothing sent yet on tag 7
                 comm.send("ready", dest=0)
                 val = req.wait()
                 return done, val
             comm.recv(source=1)  # wait until rank 1 has tested
-            comm.send("late", dest=1, tag=7)
+            comm.send("late", dest=1, tag=7)  # spmd: ignore[TAG-COLLISION]
             return None
 
         done, val = run(2, prog)[1]

@@ -64,7 +64,7 @@ class TestFailures:
         def prog(comm):
             if comm.rank == 1:
                 raise KeyError("kaboom")
-            comm.barrier()
+            comm.barrier()  # spmd: ignore[DIV-COLLECTIVE]
 
         with pytest.raises(SPMDError) as ei:
             run(3, prog)
@@ -93,8 +93,8 @@ class TestFailures:
             sub = comm.split(comm.rank % 2, key=comm.rank)
             if comm.rank == 0:
                 raise ValueError("boom")
-            sub.barrier()
-            comm.barrier()
+            sub.barrier()  # spmd: ignore[DIV-COLLECTIVE]
+            comm.barrier()  # spmd: ignore[DIV-COLLECTIVE]
 
         with pytest.raises(SPMDError):
             run(4, prog)

@@ -38,7 +38,7 @@ class TestWriteAfterIsend:
             if comm.rank == 0:
                 buf = np.arange(64, dtype=np.float64)
                 req = comm.isend(buf, 1)
-                buf[3] = -1.0  # torn write on real MPI
+                buf[3] = -1.0  # torn write on real MPI  # spmd: ignore[BUFFER-REUSE]
                 req.wait()
             elif comm.rank == 1:
                 comm.recv(0)
@@ -197,7 +197,7 @@ class TestConfiguration:
             if comm.rank == 0:
                 buf = np.zeros(8)
                 req = comm.isend(buf, 1)
-                buf[0] = 1.0
+                buf[0] = 1.0  # spmd: ignore[BUFFER-REUSE]
                 req.wait()
             elif comm.rank == 1:
                 comm.recv(0)
@@ -212,7 +212,7 @@ class TestConfiguration:
             if comm.rank == 0:
                 buf = np.zeros(8)
                 req = comm.isend(buf, 1)
-                buf[0] = 1.0
+                buf[0] = 1.0  # spmd: ignore[BUFFER-REUSE]
                 req.wait()
             elif comm.rank == 1:
                 comm.recv(0)
@@ -238,7 +238,7 @@ class TestConfiguration:
             if comm.rank == 0:
                 buf = np.zeros(8)
                 req = comm.isend(buf, 1)
-                buf[0] = 1.0
+                buf[0] = 1.0  # spmd: ignore[BUFFER-REUSE]
                 req.wait()
             elif comm.rank == 1:
                 comm.recv(0)

@@ -153,9 +153,9 @@ class TestRecorder:
         def prog(comm):
             if comm.rank == 0:
                 comm.compute(1.0)
-                comm.send(np.arange(10), 1, tag=5)
+                comm.send(np.arange(10), 1, tag=5)  # spmd: ignore[TAG-COLLISION]
             elif comm.rank == 1:
-                obj = comm.recv(0, tag=5)  # blocks ~1s for the sender
+                obj = comm.recv(0, tag=5)  # blocks ~1s for the sender  # spmd: ignore[TAG-COLLISION]
                 assert obj.size == 10
             comm.barrier()
             return comm.clock
