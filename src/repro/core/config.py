@@ -114,6 +114,11 @@ class SortConfig:
     resilient: bool = False
     #: bound on shrink-and-retry epochs before the resilient driver gives up
     max_recovery_attempts: int = 8
+    #: buddy-checkpoint each phase boundary (:mod:`repro.mpi.checkpoint`)
+    #: and recover losslessly through the spare-pool rendezvous instead of
+    #: shrink-and-restart; requires ``resilient``.  Off by default — the
+    #: legacy recovery path is then executed unchanged.
+    checkpoint: bool = False
 
     def __post_init__(self) -> None:
         if self.eps < 0:
@@ -128,6 +133,11 @@ class SortConfig:
             raise ValueError(
                 "resilient mode has no overlap-exchange implementation; "
                 "use the plain exchange"
+            )
+        if self.checkpoint and not self.resilient:
+            raise ValueError(
+                "checkpoint=True requires resilient=True (buddy "
+                "checkpointing only exists inside the recovery loop)"
             )
 
     def with_(self, **kwargs) -> "SortConfig":

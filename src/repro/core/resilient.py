@@ -4,8 +4,12 @@ The resilient sort runs the ordinary four-superstep
 :func:`~repro.core.histsort.histogram_sort` on a
 :class:`~repro.mpi.resilient.ResilientComm` — whose collectives travel the
 reliable p2p layer, healing injected drops/duplications by retransmission
-— inside a shrink-and-retry recovery loop modelled on MPI's User-Level
-Failure Mitigation (ULFM) proposal:
+— inside a recovery loop modelled on MPI's User-Level Failure Mitigation
+(ULFM) proposal.  Two recovery modes share one state machine
+(detect → revoke → agree → restore/substitute → resume):
+
+**Shrink-and-restart** (the default, when ``run_spmd`` has no spares and
+``config.checkpoint`` is off):
 
 1. Run one *epoch* of the sort on the current communicator.  A rank that
    observes a failure (:class:`RankFailedError` from a crashed peer,
@@ -21,24 +25,58 @@ Failure Mitigation (ULFM) proposal:
    determination, since the rank count changed — on their original,
    untouched input partitions.
 
-Data on crashed ranks is lost (this models process failure, not
-checkpointing): the recovered sort is a correct, verified sort of the
-*survivors'* data.  Every rank ends each epoch with exactly one ``agree``
-and, on a failed epoch, exactly one ``shrink``, which keeps the
-fault-tolerant rendezvous generations congruent across ranks.
+Data on crashed ranks is lost in this mode (it models process failure
+without checkpointing): the recovered sort is a correct, verified sort of
+the *survivors'* data.
+
+**Lossless recovery** (``run_spmd(..., spares=k)`` and/or
+``SortConfig(checkpoint=True)``): epochs run phase-granular under buddy
+checkpointing (:mod:`repro.mpi.checkpoint`) and exit through the
+spare-pool rendezvous (:mod:`repro.mpi.spare`) instead of agree+shrink.
+On failure the verdict substitutes a warm spare for each crashed rank —
+keeping ``p`` and any capacity-tuned plan valid — restores the lost
+partitions from their buddies' replicas, and resumes the epoch from the
+deepest phase every member has checkpointed (``PH_START`` → input,
+``PH_SORTED`` → skip the local sort, ``PH_SPLIT`` → skip splitter
+determination too).  Shrinking remains the fallback once the pool is
+exhausted; a dropped rank's partition is then *salvaged* into the
+surviving buddy so the sort still completes on the full input.  Only an
+adjacent double failure (a rank and its buddy in the same epoch) loses
+data, which the result reports in ``lost`` by initial rank.
+
+Every rank ends each epoch with exactly one fault-tolerant rendezvous
+(``agree`` or the pool round) and, on a failed epoch, exactly one
+membership change, which keeps the rendezvous generations congruent
+across ranks.  Both modes are deterministic under a seeded
+:class:`~repro.faults.FaultPlan`; with spares and checkpointing disabled
+the legacy path below is executed unchanged, bit-identical to previous
+releases.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
+from ..mpi.checkpoint import (
+    MARKER_NAMES,
+    PH_SORTED,
+    PH_SPLIT,
+    PH_START,
+    BuddyCheckpointer,
+)
 from ..mpi.errors import CommRevokedError, MessageTimeoutError, RankFailedError
 from ..mpi.resilient import ResilientComm
+from ..mpi.spare import PoolVerdict, pool_round
+from ..trace.timer import PhaseTimer
 from .config import SortConfig
-from .histsort import SortResult, histogram_sort
+from .exchange import build_exchange_plan, exchange
+from .histsort import _MAXMAX, PHASES, SortResult, histogram_sort
+from .keys import pack_keys, plan_packing, unpack_keys
+from .merge import local_merge
+from .multiselect import find_splitters
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..mpi import Comm
@@ -55,10 +93,16 @@ class RecoveryExhaustedError(RuntimeError):
 
 @dataclass(frozen=True)
 class ResilientSortResult:
-    """A verified sort of the surviving ranks' data.
+    """A verified sort of the recoverable data.
 
-    ``output`` is this rank's partition of the globally sorted surviving
-    data; ``comm`` is the (possibly shrunk) communicator it lives on.
+    ``output`` is this rank's partition of the globally sorted data;
+    ``comm`` is the (possibly substituted or shrunk) communicator it
+    lives on.  Under lossless recovery ``spares_used`` counts pool
+    substitutions and ``lost`` names the initial ranks whose input could
+    not be recovered (empty unless a rank and its checkpoint buddy died
+    in the same epoch, or checkpointing was off); in legacy
+    shrink-and-restart mode every crashed rank's data is lost but
+    ``lost`` stays empty for backward compatibility — consult ``failed``.
     """
 
     output: np.ndarray
@@ -67,6 +111,8 @@ class ResilientSortResult:
     attempts: int
     survivors: tuple[int, ...]
     failed: tuple[int, ...]
+    spares_used: int = 0
+    lost: tuple[int, ...] = ()
 
     @property
     def phases(self) -> dict[str, float]:
@@ -107,13 +153,17 @@ def resilient_sort(
 ) -> ResilientSortResult:
     """Fault-tolerant :func:`histogram_sort`; collective over ``comm``.
 
-    Completes a verified sort of the surviving ranks' data under injected
+    Completes a verified sort of the recoverable data under injected
     message drops, duplications, delays, and rank crashes, or raises a
     typed error (:class:`RecoveryExhaustedError` after too many epochs;
     :class:`RankFailedError` if this rank cannot take part in recovery).
     Never hangs: blocked survivors are hoisted out by revocation, crashed
     peers by the runtime's failure notifications, and silent message loss
     by virtual-time retry deadlines.
+
+    When the runtime has spare ranks or ``config.checkpoint`` is set, the
+    lossless pooled recovery path runs (see the module docs); otherwise
+    the legacy shrink-and-restart loop below executes unchanged.
     """
     if config is None:
         config = SortConfig(resilient=True)
@@ -127,6 +177,9 @@ def resilient_sort(
         if isinstance(comm, ResilientComm)
         else ResilientComm(comm._state, comm.rank)
     )
+    rt = comm._rt
+    if rt.spares > 0 or config.checkpoint:
+        return _pooled_sort(rt, work, local, config, capacities)
     initial_members = tuple(work.world_ranks)
     inner_cfg = config.with_(resilient=False)
     tracer = comm.tracer
@@ -167,4 +220,346 @@ def resilient_sort(
     raise RecoveryExhaustedError(
         f"sort did not complete within {config.max_recovery_attempts} "
         "recovery attempts"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Lossless recovery: phase-granular epochs over the spare-pool rendezvous.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _EpochState:
+    """One rank's restartable sort state between recovery epochs.
+
+    ``local`` is the raw-key input basis — kept through every phase so a
+    roll-back to ``PH_START`` (shrink, or a peer that lost all progress)
+    can always restart from scratch.  ``sorted_work`` / ``spec`` carry
+    the packed, locally sorted partition once ``marker`` reaches
+    ``PH_SORTED``; ``splitters`` the agreed splitter set at ``PH_SPLIT``.
+    ``origins`` are the initial ring positions whose input data this
+    rank currently carries (the unit of loss accounting).
+    """
+
+    local: np.ndarray
+    dtype: Any
+    origins: tuple[int, ...]
+    marker: int = PH_START
+    sorted_work: np.ndarray | None = None
+    spec: Any = None
+    splitters: Any = None
+
+    def n_in(self) -> int:
+        """Elements this rank brings into the epoch (packing is 1:1)."""
+        if self.marker >= PH_SORTED and self.sorted_work is not None:
+            return int(self.sorted_work.size)
+        return int(self.local.size)
+
+
+def _pooled_sort(rt, work: ResilientComm, local: np.ndarray,
+                 config: SortConfig, capacities) -> ResilientSortResult:
+    """Entry point of the pooled (checkpoint + spares) recovery path for
+    the initial active ranks."""
+    initial_members = tuple(work.world_ranks)
+    st = _EpochState(local=local.copy(), dtype=local.dtype,
+                     origins=(work.rank,))
+    ckpt = BuddyCheckpointer() if config.checkpoint else None
+    meta = {
+        "config": config,
+        "capacities": None if capacities is None else tuple(capacities),
+        "initial_p": len(initial_members),
+        "initial_members": initial_members,
+        "dtype": local.dtype,
+    }
+    origin_map = {i: (i,) for i in range(len(initial_members))}
+    return _epoch_loop(rt, work, st, ckpt, meta, origin_map=origin_map,
+                       epoch=0, spares_used=0, lost=())
+
+
+def _substitute_entry(rt, wc, verdict: PoolVerdict, pos: int):
+    """Continuation a spare runs after the pool assigned it position
+    ``pos`` (deposited by the actives; see :func:`repro.mpi.spare.spare_main`).
+    Receives the buddy replica planned for it (if any) and joins the
+    epoch loop as a full member."""
+    meta = verdict.meta
+    config: SortConfig = meta["config"]
+    work = ResilientComm(verdict.state, pos)
+    if config.trace:
+        work.ensure_tracing()
+    ckpt = BuddyCheckpointer() if config.checkpoint else None
+    st = _EpochState(local=np.empty(0, dtype=meta["dtype"]),
+                     dtype=meta["dtype"], origins=())
+    try:
+        for holder, target in verdict.restores:
+            if pos == target:
+                rep = BuddyCheckpointer.restore_recv(work, holder)
+                _load_replica(st, rep, verdict.resume_marker)
+    except RECOVERABLE:
+        work.revoke()
+    if st.marker >= PH_SPLIT:
+        st.splitters = verdict.splitters
+    return _epoch_loop(rt, work, st, ckpt, meta,
+                       origin_map=dict(verdict.origin_map),
+                       epoch=verdict.epoch, spares_used=verdict.spares_used,
+                       lost=verdict.lost)
+
+
+def _epoch_loop(rt, work: ResilientComm, st: _EpochState,
+                ckpt: BuddyCheckpointer | None, meta: dict, *,
+                origin_map: dict[int, tuple[int, ...]], epoch: int,
+                spares_used: int,
+                lost: tuple[int, ...]) -> ResilientSortResult:
+    """Run recovery epochs until the pool rendezvous declares the sort
+    done (or the attempt budget is exhausted)."""
+    config: SortConfig = meta["config"]
+    initial_p: int = meta["initial_p"]
+    initial_members: tuple[int, ...] = meta["initial_members"]
+    while True:
+        epoch += 1
+        result: SortResult | None = None
+        ok = True
+        try:
+            n_in = st.n_in()
+            # Tuned capacities are only meaningful while the rank count
+            # and the input multiset both match the original plan.
+            caps = (meta["capacities"]
+                    if work.size == initial_p and not lost else None)
+            result = _sort_epoch(work, st, ckpt, config, caps)
+            ok = _verified(work, n_in, result.output)
+        except RECOVERABLE:
+            work.revoke()
+            ok = False
+        deposit = ("active", {
+            "pos": work.rank,
+            "positions": tuple(work.world_ranks),
+            "ok": ok,
+            "marker": st.marker,
+            "origins": st.origins,
+            "held": (None if ckpt is None or ckpt.held is None
+                     else (ckpt.held.owner_pos, ckpt.held.marker)),
+            "splitters": st.splitters,
+            "lost": lost,
+            "origin_map": origin_map,
+            "epoch": epoch,
+            "max_epochs": config.max_recovery_attempts,
+            "spares_used": spares_used,
+            "cont": _substitute_entry,
+            "meta": meta,
+        })
+        verdict = pool_round(rt, work.world_rank, deposit, work)
+        if verdict.kind == "done":
+            assert result is not None
+            survivors = tuple(work.world_ranks)
+            return ResilientSortResult(
+                output=result.output,
+                result=result,
+                comm=work,
+                attempts=epoch,
+                survivors=survivors,
+                failed=tuple(r for r in initial_members
+                             if r not in survivors),
+                spares_used=verdict.spares_used,
+                lost=verdict.lost,
+            )
+        if verdict.kind == "exhausted":
+            raise RecoveryExhaustedError(
+                f"sort did not complete within "
+                f"{config.max_recovery_attempts} recovery attempts"
+            )
+        assert verdict.kind == "recover", verdict.kind
+        epoch = verdict.epoch
+        spares_used = verdict.spares_used
+        lost = verdict.lost
+        origin_map = dict(verdict.origin_map)
+        work = _apply_recovery(work, st, ckpt, verdict)
+
+
+def _apply_recovery(work: ResilientComm, st: _EpochState,
+                    ckpt: BuddyCheckpointer | None,
+                    verdict: PoolVerdict) -> ResilientComm:
+    """Move a surviving rank onto the recovered communicator: roll state
+    back to the agreed resume phase and execute this rank's share of the
+    planned replica transfers.  A failure *during* recovery revokes the
+    new communicator, which turns the next epoch into an immediate
+    recoverable failure — the following rendezvous plans again."""
+    t0 = work.clock
+    new_pos = verdict.positions.index(work.world_rank)
+    nw = ResilientComm(verdict.state, new_pos)
+    _rollback(st, verdict)
+    try:
+        _run_transfers(nw, st, ckpt, verdict)
+    except RECOVERABLE:
+        nw.revoke()
+    if ckpt is not None and verdict.shrunk:
+        # Positions renumbered: replicas keyed by the old numbering must
+        # never be offered as restore sources for the new one.  The
+        # epoch-start refresh rebuilds them under the new membership.
+        ckpt.held = None
+    tracer = nw.tracer
+    if tracer.enabled:
+        tracer.record("recover", t0, cat="fault", attempt=verdict.epoch,
+                      survivors=nw.size,
+                      resume=MARKER_NAMES[verdict.resume_marker],
+                      substituted=len(verdict.assigned),
+                      shrunk=verdict.shrunk)
+    return nw
+
+
+def _rollback(st: _EpochState, verdict: PoolVerdict) -> None:
+    """Roll phase progress back to the verdict's resume marker (the
+    minimum over the new membership — deeper progress of this rank is
+    discarded so every member replays the same phases)."""
+    st.marker = min(st.marker, verdict.resume_marker)
+    if st.marker >= PH_SPLIT:
+        st.splitters = verdict.splitters
+    else:
+        st.splitters = None
+    if st.marker < PH_SORTED:
+        st.sorted_work = None
+        st.spec = None
+
+
+def _run_transfers(nw: ResilientComm, st: _EpochState,
+                   ckpt: BuddyCheckpointer | None,
+                   verdict: PoolVerdict) -> None:
+    """Execute this rank's share of the verdict's replica transfers.
+
+    Every rank walks the same globally ordered transfer list; blocked
+    reliable operations service the whole channel, so the pairwise
+    sends/receives cannot deadlock.  Substitute targets run their
+    receives in :func:`_substitute_entry` instead."""
+    for holder, target in verdict.restores:
+        if nw.rank == holder:
+            assert ckpt is not None
+            ckpt.restore_send(nw, target)
+        elif nw.rank == target:
+            # Dataless until the replica actually lands: if the transfer
+            # dies halfway we must not claim data we do not hold (the
+            # next rendezvous re-plans the restore from the live buddy).
+            st.local = np.empty(0, dtype=st.dtype)
+            st.origins = ()
+            st.sorted_work = None
+            st.spec = None
+            st.marker = PH_START
+            rep = BuddyCheckpointer.restore_recv(nw, holder)
+            _load_replica(st, rep, verdict.resume_marker)
+            if st.marker >= PH_SPLIT:
+                st.splitters = verdict.splitters
+    for holder in verdict.salvages:
+        if nw.rank == holder and ckpt is not None and ckpt.held is not None:
+            # Shrink fallback: fold the dropped owner's replica into this
+            # rank's input basis so its data still reaches the output.
+            extra = ckpt.held.unpacked()
+            st.local = (np.concatenate([st.local, extra])
+                        if st.local.size else extra.copy())
+            st.origins = tuple(sorted(set(st.origins)
+                                      | set(ckpt.held.origins)))
+
+
+def _load_replica(st: _EpochState, rep, resume: int) -> None:
+    """Adopt a buddy replica as this rank's partition state."""
+    st.origins = tuple(rep.origins)
+    if rep.dtype is not None:
+        st.dtype = rep.dtype
+    st.local = rep.unpacked()
+    if resume >= PH_SORTED and rep.marker >= PH_SORTED:
+        st.sorted_work = rep.data
+        st.spec = rep.spec
+        st.marker = min(int(rep.marker), resume)
+    else:
+        st.sorted_work = None
+        st.spec = None
+        st.marker = PH_START
+
+
+def _sort_epoch(work: ResilientComm, st: _EpochState,
+                ckpt: BuddyCheckpointer | None, config: SortConfig,
+                capacities) -> SortResult:
+    """One phase-granular epoch of the histogram sort.
+
+    Mirrors :func:`~repro.core.histsort.histogram_sort` superstep by
+    superstep, but resumes from ``st.marker`` — phases already
+    checkpointed by every member are skipped — and, when checkpointing
+    is on, replicates state to the buddy at each phase boundary."""
+    compute = work.cost.compute
+    tracer = work.tracer
+    t_begin = work.clock
+    marker0 = st.marker
+    timer = PhaseTimer(work)
+    if ckpt is not None:
+        # Epoch-start refresh: every buddy (including a fresh
+        # substitute's) holds a current replica before new failures can
+        # strike, and replicas invalidated by a membership change are
+        # replaced under the new numbering.
+        if st.marker >= PH_SORTED:
+            ckpt.save(work, st.marker, st.origins, st.sorted_work,
+                      st.spec, st.dtype)
+        else:
+            ckpt.save(work, PH_START, st.origins, st.local, None, st.dtype)
+
+    # Superstep 1: local sort (skipped at PH_SORTED and beyond).
+    if st.marker < PH_SORTED:
+        w = st.local
+        spec = None
+        if config.uniquify:
+            max_key = int(w.max()) if w.size else 0
+            gmax_key, gmax_n = work.allreduce(
+                (max_key, int(w.size)), op=_MAXMAX
+            )
+            spec = plan_packing(gmax_key, work.size, max(gmax_n, 1))
+            w = pack_keys(w, work.rank, spec)
+            work.compute(compute.partition(w.size))
+        w = np.sort(w, kind="stable")
+        work.compute(compute.sort(w.size, w.dtype.itemsize))
+        st.sorted_work = w
+        st.spec = spec
+        st.marker = PH_SORTED
+        timer.mark("local_sort")
+        if ckpt is not None:
+            ckpt.save(work, PH_SORTED, st.origins, w, spec, st.dtype)
+    else:
+        timer.mark("local_sort")
+
+    # Superstep 2: splitter determination (skipped at PH_SPLIT).
+    if st.marker < PH_SPLIT:
+        st.splitters = find_splitters(
+            work, st.sorted_work, capacities=capacities, eps=config.eps,
+            config=config.splitter,
+        )
+        st.marker = PH_SPLIT
+        timer.mark("splitting")
+        if ckpt is not None:
+            # Splitters are identical on every rank; a marker-only ring
+            # update suffices (survivors re-share them at recovery).
+            ckpt.save_marker(work, PH_SPLIT)
+    else:
+        timer.mark("splitting")
+
+    # Supersteps 3+4: exchange and merge (never checkpointed — the
+    # verification rendezvous right after is the epoch's commit point).
+    plan = build_exchange_plan(work, st.sorted_work, st.splitters)
+    timer.mark("other")
+    chunks = exchange(work, st.sorted_work, plan)
+    timer.mark("exchange")
+    merged = local_merge(work, chunks, strategy=config.merge_strategy)
+    if st.spec is not None:
+        merged = unpack_keys(merged, st.spec, dtype=st.dtype)
+        work.compute(compute.partition(merged.size))
+    timer.mark("merge")
+
+    phases = {name: timer.phases.get(name, 0.0) for name in PHASES}
+    tracer.record(
+        "sort_epoch",
+        t_begin,
+        rounds=st.splitters.rounds,
+        n=st.n_in(),
+        resumed=MARKER_NAMES[marker0],
+    )
+    itemsize = int(st.sorted_work.dtype.itemsize)
+    return SortResult(
+        output=merged,
+        phases=phases,
+        splitters=st.splitters,
+        plan_bytes=plan.elements_sent * itemsize,
+        exchanged_bytes=plan.elements_received * itemsize,
     )

@@ -15,6 +15,7 @@ every run ends in a correctly sorted output on the surviving ranks or a
 typed, diagnosable error — never a hang.
 """
 
+from .detector import PhiAccrualDetector
 from .plan import CrashEvent, DegradedWindow, FaultPlan, FaultSpec, FaultStats, LinkFault
 
 __all__ = [
@@ -24,4 +25,5 @@ __all__ = [
     "FaultSpec",
     "FaultStats",
     "LinkFault",
+    "PhiAccrualDetector",
 ]

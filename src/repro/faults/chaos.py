@@ -11,14 +11,22 @@ Optionally every case is executed twice and the virtual-time makespan and
 fault tally are compared for exact equality (``--determinism``), pinning
 the schedule-independence guarantee of the fault layer.
 
+With ``--spares`` and/or ``--checkpoint`` the sweep exercises the
+lossless recovery path (:mod:`repro.core.resilient`): the contract
+tightens to a **no-data-loss oracle** — the output multiset must equal
+the regenerated inputs of every initial rank except those the result
+itself reports as ``lost`` (and legacy mode's crashed ranks), and with
+enough spares the rank count must come back unchanged.
+
 Usage::
 
     python -m repro.faults.chaos --seeds 20 --sizes 4,8 --drops 0.05,0.2 \\
         --crash-ranks 1 --check --determinism
+    python -m repro.faults.chaos --spares 2 --checkpoint --crash-ranks 2
 
 Exit status is non-zero if any case hangs, produces an unsorted/unverified
-output, escapes with an untyped error, or (with ``--determinism``) replays
-differently.
+output, loses data it should not, escapes with an untyped error, or (with
+``--determinism``) replays differently.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ import numpy as np
 
 from ..core.config import SortConfig
 from ..core.histsort import histogram_sort
+from ..core.resilient import ResilientSortResult
 from ..mpi import Runtime
 from ..mpi.errors import DeadlockError, SPMDError
 from .plan import FaultPlan, FaultSpec
@@ -48,6 +57,15 @@ class ChaosCase:
     crash_ranks: int
     n_per_rank: int
     check: bool
+    #: warm spare ranks substituted for crashed actives (lossless path)
+    spares: int = 0
+    #: buddy-checkpoint phase boundaries and restore lost partitions
+    checkpoint: bool = False
+
+    @property
+    def pooled(self) -> bool:
+        """True when the case runs the lossless (pool) recovery path."""
+        return self.spares > 0 or self.checkpoint
 
     def plan(self) -> FaultPlan:
         spec = FaultSpec(
@@ -58,7 +76,7 @@ class ChaosCase:
             crash_ranks=self.crash_ranks,
             crash_op_range=(10, 120),
         )
-        return FaultPlan(spec, seed=self.seed, size=self.size)
+        return FaultPlan(spec, seed=self.seed, size=self.size + self.spares)
 
 
 @dataclass(frozen=True)
@@ -70,56 +88,121 @@ class ChaosOutcome:
     kind: str
     makespan: float
     detail: str
+    #: error classes raised, for failing runs (sorted, deduplicated)
+    cause: str = ""
 
     @property
     def ok(self) -> bool:
         return self.kind in ("sorted", "typed-error")
 
+    @property
+    def replay_key(self) -> tuple:
+        """What an exact replay must reproduce.
 
-def _sort_program(comm, n_per_rank: int, data_seed: int):
-    rng = np.random.default_rng(data_seed + comm.rank)
-    local = rng.integers(0, 1 << 62, size=n_per_rank, dtype=np.int64)
-    res = histogram_sort(comm, local, SortConfig(resilient=True))
+        The virtual schedule (makespan), outcome kind, and — for clean
+        runs — the full detail including the fault tally.  A *failing*
+        run's teardown is wall-clock raced in its bookkeeping (which
+        ranks' exceptions get recorded before the abort reaches them,
+        trailing fault-counter increments on ranks mid-ladder), so for
+        error outcomes only the error classes are compared.
+        """
+        stable = self.detail if self.kind in ("sorted", "bad-output") else self.cause
+        return (self.kind, self.makespan, stable)
+
+
+def _case_input(data_seed: int, rank: int, n_per_rank: int) -> np.ndarray:
+    """Initial rank ``rank``'s input — regenerable for the loss oracle."""
+    rng = np.random.default_rng(data_seed + rank)
+    return rng.integers(0, 1 << 62, size=n_per_rank, dtype=np.int64)
+
+
+def _sort_program(comm, n_per_rank: int, data_seed: int, cfg: SortConfig):
+    local = _case_input(data_seed, comm.rank, n_per_rank)
+    res = histogram_sort(comm, local, cfg)
     out = res.output
     if out.size and np.any(np.diff(out) < 0):
         raise AssertionError("locally unsorted output")
-    return (int(out.size), res.attempts, res.survivors, res.failed)
+    # Return the ResilientSortResult itself: a substituted spare resumes
+    # mid-sort and can only return what the sort returns, so this keeps
+    # active and substitute result slots congruent for the oracle.
+    return res
+
+
+def _check_outputs(case: ChaosCase, rt: Runtime, results: list) -> str | None:
+    """No-data-loss oracle: verify the live results against regenerated
+    inputs; returns a failure description or ``None``."""
+    live = [r for r in results if isinstance(r, ResilientSortResult)]
+    if not live:
+        return "no survivors"
+    first = live[0]
+    if any((r.survivors, r.failed, r.lost) !=
+           (first.survivors, first.failed, first.lost) for r in live):
+        return "survivor/lost sets disagree across ranks"
+    if len(live) != first.comm.size:
+        return f"{len(live)} results for a size-{first.comm.size} communicator"
+    # Multiset conservation: everything not reported lost must come out.
+    # The legacy path loses every crashed rank's data but reports lost=()
+    # for backward compatibility, so fold `failed` in for it.
+    missing = set(first.lost)
+    if not case.pooled:
+        missing |= set(first.failed)
+    expect = np.sort(np.concatenate(
+        [_case_input(1000 + case.seed, r, case.n_per_rank)
+         for r in range(case.size) if r not in missing]
+        or [np.empty(0, dtype=np.int64)]
+    ))
+    got = np.sort(np.concatenate([r.output for r in live]))
+    if not np.array_equal(got, expect):
+        return (f"data loss: {got.size} elements out, {expect.size} "
+                f"recoverable (lost={sorted(missing)})")
+    # Partition boundaries: concatenation in rank order is globally sorted.
+    by_rank = sorted(live, key=lambda r: r.comm.rank)
+    chain = np.concatenate([r.output for r in by_rank])
+    if chain.size and np.any(np.diff(chain) < 0):
+        return "partition boundaries out of order"
+    # Spare substitution must keep the rank count whenever the pool was
+    # deep enough to cover every crash of the run — counting crashes of
+    # spares themselves (a parked spare's death drains the pool, a
+    # substituted spare's death needs covering again).
+    if case.pooled and len(rt.fault_stats.crashed) <= case.spares:
+        if first.comm.size != case.size:
+            return (f"p changed to {first.comm.size} although {case.spares} "
+                    f"spare(s) could cover {len(rt.fault_stats.crashed)} "
+                    f"crash(es)")
+    return None
 
 
 def run_case(case: ChaosCase, wall_timeout: float = 120.0) -> ChaosOutcome:
     """Run one chaos case; never raises for in-contract behaviour."""
     plan = case.plan()
-    rt = Runtime(case.size, faults=plan, check=case.check)
+    cfg = SortConfig(resilient=True, checkpoint=case.checkpoint)
+    rt = Runtime(case.size, spares=case.spares, faults=plan, check=case.check)
     try:
-        results = rt.run(_sort_program, args=(case.n_per_rank, 1000 + case.seed),
+        results = rt.run(_sort_program,
+                         args=(case.n_per_rank, 1000 + case.seed, cfg),
                          timeout=wall_timeout)
     except TimeoutError as exc:  # the backstop fired: a real hang
         return ChaosOutcome(case, "hang", rt.elapsed(), str(exc))
     except (SPMDError, DeadlockError) as exc:
         detail = f"{type(exc).__name__}: {exc}".splitlines()[0]
+        inner = (exc.failures.values() if isinstance(exc, SPMDError) else (exc,))
+        cause = ",".join(sorted({type(e).__name__ for e in inner}))
         return ChaosOutcome(case, "typed-error", rt.elapsed(),
-                            f"{detail} [{rt.fault_stats.summary()}]")
+                            f"{detail} [{rt.fault_stats.summary()}]", cause)
     except BaseException as exc:  # noqa: BLE001 - classified, not swallowed
         return ChaosOutcome(case, "untyped-error", rt.elapsed(),
-                            f"{type(exc).__name__}: {exc}")
+                            f"{type(exc).__name__}: {exc}",
+                            type(exc).__name__)
 
-    live = [r for r in results if r is not None]
-    if not live:
-        return ChaosOutcome(case, "bad-output", rt.elapsed(), "no survivors")
-    survivors = live[0][2]
-    total = sum(r[0] for r in live)
-    want = case.n_per_rank * len(survivors)
-    if any((r[2], r[3]) != (live[0][2], live[0][3]) for r in live):
-        return ChaosOutcome(case, "bad-output", rt.elapsed(),
-                            "survivor sets disagree across ranks")
-    if total != want:
-        return ChaosOutcome(
-            case, "bad-output", rt.elapsed(),
-            f"element count {total} != {want} for {len(survivors)} survivors",
-        )
+    bad = _check_outputs(case, rt, results)
+    if bad is not None:
+        return ChaosOutcome(case, "bad-output", rt.elapsed(), bad)
+    live = [r for r in results if isinstance(r, ResilientSortResult)]
+    first = live[0]
     return ChaosOutcome(
         case, "sorted", rt.elapsed(),
-        f"attempts={live[0][1]} survivors={len(survivors)}/{case.size} "
+        f"attempts={first.attempts} p={first.comm.size}/{case.size} "
+        f"spares={first.spares_used} lost={len(first.lost)} "
         f"[{rt.fault_stats.summary()}]",
     )
 
@@ -137,9 +220,7 @@ def sweep(
         out = run_case(case, wall_timeout)
         if determinism and out.kind != "hang":
             replay = run_case(case, wall_timeout)
-            if (replay.kind, replay.makespan, replay.detail) != (
-                out.kind, out.makespan, out.detail
-            ):
+            if replay.replay_key != out.replay_key:
                 out = ChaosOutcome(
                     case, "nondeterministic", out.makespan,
                     f"first={out.kind}@{out.makespan!r} "
@@ -151,6 +232,7 @@ def sweep(
             print(
                 f"[{flag}] seed={case.seed:<3d} p={case.size:<2d} "
                 f"drop={case.drop_rate:<4g} crash={case.crash_ranks} "
+                f"spares={case.spares} ckpt={int(case.checkpoint)} "
                 f"check={int(case.check)} -> {out.kind:<11s} "
                 f"t={out.makespan:.5f} {out.detail}"
             )
@@ -176,6 +258,10 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--crash-ranks", type=int, default=1,
                     help="ranks the plan crashes (0 disables crashes)")
     ap.add_argument("--n", type=int, default=96, help="elements per rank")
+    ap.add_argument("--spares", type=int, default=0,
+                    help="warm spare ranks for lossless substitution")
+    ap.add_argument("--checkpoint", action="store_true",
+                    help="buddy-checkpoint phase boundaries (lossless path)")
     ap.add_argument("--check", action="store_true",
                     help="enable the runtime correctness checker")
     ap.add_argument("--determinism", action="store_true",
@@ -186,7 +272,8 @@ def main(argv: list[str] | None = None) -> int:
 
     cases = [
         ChaosCase(seed=s, size=p, drop_rate=d, crash_ranks=args.crash_ranks,
-                  n_per_rank=args.n, check=args.check)
+                  n_per_rank=args.n, check=args.check, spares=args.spares,
+                  checkpoint=args.checkpoint)
         for p in _parse_list(args.sizes, int)
         for d in _parse_list(args.drops, float)
         for s in range(args.seed0, args.seed0 + args.seeds)

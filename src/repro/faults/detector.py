@@ -1,0 +1,160 @@
+"""Adaptive phi-accrual failure detection over virtual-clock heartbeats.
+
+Fixed timeouts are wrong twice: too short and a congested-but-healthy
+link is declared dead (spurious recovery epochs), too long and a real
+failure stalls every survivor for the whole deadline.  The phi-accrual
+detector (Hayashibara et al., SRDS'04 — the design Akka/Cassandra ship)
+replaces the binary alive/dead verdict with a *suspicion level*
+
+    phi(t) = -log10( P(no heartbeat by t | observed inter-arrival history) )
+
+computed from a sliding window of observed arrival gaps.  Consumers pick
+a threshold: ``phi >= threshold`` means "the probability that this
+silence is ordinary jitter has dropped below ``10**-threshold``".
+
+In this runtime there is no wall clock and no background ticker: every
+*observation* is a virtual-time event the caller already has in hand —
+the causal arrival of an ARQ acknowledgement, a reliable data delivery,
+a buddy-checkpoint receipt.  Each such arrival is a heartbeat: evidence
+the peer (and the link to it) was alive at that virtual instant.  The
+detector turns the history of those gaps into an *adaptive deadline*
+(:meth:`deadline`), which the reliable layer uses in place of its fixed
+``base_timeout`` ladder, so links that are merely slow (delay spikes,
+degradation windows) earn proportionally longer patience while quiet
+fast links are given up on quickly.
+
+Determinism
+-----------
+All inputs are virtual times, which are a pure function of the program
+and the fault plan's seed; the window is updated only by the owning
+rank's thread (per-link state lives in rank-owned dict slots).  Replays
+are therefore bit-identical — the detector adds no randomness and reads
+no wall clock.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+__all__ = ["PhiAccrualDetector"]
+
+#: floor on the probability of "no arrival yet" so phi stays finite
+_MIN_P = 1e-12
+
+
+class PhiAccrualDetector:
+    """Suspicion accrual over one link's virtual-time arrival history.
+
+    Parameters
+    ----------
+    window:
+        Sliding-window length (number of inter-arrival samples kept).
+    min_std:
+        Lower bound on the modelled standard deviation, as a fraction of
+        the mean interval; guards against a degenerate zero-variance
+        window declaring any deviation an instant failure.
+    first_interval:
+        Prior inter-arrival estimate used until two observations exist
+        (virtual seconds).
+    """
+
+    __slots__ = ("window", "min_std", "first_interval", "_gaps", "_last",
+                 "observations")
+
+    def __init__(self, window: int = 64, min_std: float = 0.125,
+                 first_interval: float = 1e-3):
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        if min_std <= 0.0:
+            raise ValueError("min_std must be positive")
+        if first_interval <= 0.0:
+            raise ValueError("first_interval must be positive")
+        self.window = window
+        self.min_std = min_std
+        self.first_interval = first_interval
+        self._gaps: deque[float] = deque(maxlen=window)
+        self._last: float | None = None
+        #: total arrivals observed (monotone; survives window eviction)
+        self.observations = 0
+
+    # ------------------------------------------------------------ recording
+
+    def observe(self, now: float) -> None:
+        """Record a heartbeat (any liveness-proving arrival) at virtual
+        time ``now``.  Out-of-order arrivals (causal arrival times are not
+        monotone under retransmission) contribute a zero-width gap, which
+        correctly *tightens* the model — two arrivals at the same instant
+        are strong evidence of a live link."""
+        self.observations += 1
+        if self._last is not None:
+            self._gaps.append(max(0.0, now - self._last))
+            if now < self._last:
+                return
+        self._last = now
+
+    # ------------------------------------------------------------- modelling
+
+    def _moments(self) -> tuple[float, float]:
+        """(mean, std) of the modelled inter-arrival distribution."""
+        if not self._gaps:
+            mean = self.first_interval
+        else:
+            mean = sum(self._gaps) / len(self._gaps)
+            if mean <= 0.0:
+                mean = self.first_interval
+        if len(self._gaps) >= 2:
+            var = sum((g - mean) ** 2 for g in self._gaps) / len(self._gaps)
+            std = math.sqrt(var)
+        else:
+            std = 0.0
+        return mean, max(std, self.min_std * mean)
+
+    def phi(self, now: float) -> float:
+        """Suspicion level at virtual time ``now``.
+
+        Uses the exponential-tail approximation of the original paper's
+        normal CDF (P(gap > x) ≈ 10^(-x / (mean + k·std)) shaping): cheap,
+        monotone in the silence duration, and scale-free in the history.
+        """
+        if self._last is None:
+            return 0.0
+        silence = now - self._last
+        if silence <= 0.0:
+            return 0.0
+        mean, std = self._moments()
+        # Probability that an inter-arrival exceeds `silence` under an
+        # exponential fit whose rate matches the window mean, widened by
+        # the observed jitter: P = exp(-silence / (mean + 2*std)).
+        scale = mean + 2.0 * std
+        p = math.exp(-silence / scale) if scale > 0.0 else _MIN_P
+        return -math.log10(max(p, _MIN_P))
+
+    def suspect(self, now: float, threshold: float = 8.0) -> bool:
+        """True when ``phi(now)`` crosses ``threshold``."""
+        return self.phi(now) >= threshold
+
+    def deadline(self, threshold: float = 8.0) -> float:
+        """Silence duration (virtual seconds from the last heartbeat) at
+        which ``phi`` would reach ``threshold`` — the adaptive timeout.
+
+        Inverse of :meth:`phi`: ``threshold = silence / (scale * ln 10)``
+        solved for silence.  With no history yet this degrades to the
+        prior ``first_interval`` scaled the same way, matching a fixed
+        conservative timeout.
+        """
+        mean, std = self._moments()
+        scale = mean + 2.0 * std
+        return threshold * math.log(10.0) * scale
+
+    # ---------------------------------------------------------- introspection
+
+    @property
+    def last_arrival(self) -> float | None:
+        """Virtual time of the newest observation (None before any)."""
+        return self._last
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mean, std = self._moments()
+        return (f"PhiAccrualDetector(n={self.observations}, mean={mean:.3g}, "
+                f"std={std:.3g})")

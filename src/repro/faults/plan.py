@@ -273,13 +273,52 @@ class FaultPlan:
 
 @dataclass
 class FaultStats:
-    """Mutable per-run tally of injected events (for traces and reports)."""
+    """Mutable per-run tally of injected events and the recovery machinery's
+    responses (for traces and reports).
+
+    Every counter here must stay a *pure function of the plan's seed* for
+    runs that complete: the chaos harness replays a seed and compares
+    summaries bit-for-bit.  The injection counters are advanced by the
+    sending rank at data-plane decision points; the detection/recovery
+    counters are advanced at virtual-time-deterministic events only
+    (fired quiescence deadlines, exhausted retry ladders, recovery epoch
+    transitions) — never at schedule-dependent points like ack
+    processing.  The one exception is the teardown window of a *failing*
+    run: between one rank's raise and the abort reaching its peers, a
+    peer mid-retry-ladder may squeeze in a few more counted events, so
+    the chaos harness compares only error classes (not tallies) for
+    error outcomes.
+    """
 
     dropped: int = 0
     duplicated: int = 0
     delayed: int = 0
     crashed: list[int] = field(default_factory=list)
+    #: virtual deadlines fired by the quiescence arbiter (failure suspicions)
+    detections: int = 0
+    #: per-link circuit breakers that tripped open (retry budget exhausted
+    #: ``breaker_threshold`` times in a row)
+    breaker_trips: int = 0
+    #: recovery epochs that rebuilt a communicator (spare substitution or
+    #: shrink) after a failure
+    recoveries: int = 0
+    #: warm spare ranks substituted for crashed actives
+    spares_used: int = 0
+    #: buddy checkpoints taken (one per rank per phase boundary)
+    checkpoints: int = 0
+    #: partitions restored from a buddy replica after a crash
+    restored: int = 0
+    #: partitions lost for good (holder and buddy both dead)
+    lost: int = 0
 
     def summary(self) -> str:
-        return (f"dropped={self.dropped} duplicated={self.duplicated} "
-                f"delayed={self.delayed} crashed={sorted(self.crashed)}")
+        s = (f"dropped={self.dropped} duplicated={self.duplicated} "
+             f"delayed={self.delayed} crashed={sorted(self.crashed)}")
+        if self.detections or self.breaker_trips:
+            s += (f" detections={self.detections} "
+                  f"breaker_trips={self.breaker_trips}")
+        if self.recoveries or self.checkpoints:
+            s += (f" recoveries={self.recoveries} spares={self.spares_used} "
+                  f"checkpoints={self.checkpoints} restored={self.restored} "
+                  f"lost={self.lost}")
+        return s

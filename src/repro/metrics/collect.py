@@ -76,6 +76,47 @@ def collect_runtime(
         "repro_ranks", "World size of the last observed run", names
     ).labels(**base).set(runtime.size)
 
+    # Control-plane traffic (ARQ acks/retransmissions, buddy checkpoints,
+    # heartbeats) is accounted separately from the data-plane families
+    # above, so repro_bytes_on_wire_total stays comparable across runs
+    # with and without the recovery machinery enabled.
+    ctl_names = names + ("kind",)
+    ctl_msgs = registry.counter(
+        "repro_control_messages_total",
+        "Control-plane messages by kind (excluded from repro_messages_total)",
+        ctl_names,
+    )
+    ctl_bytes = registry.counter(
+        "repro_control_bytes_total",
+        "Control-plane bytes by kind (excluded from repro_bytes_on_wire_total)",
+        ctl_names,
+    )
+    for kind, (n_msgs, n_bytes) in snap.control.items():
+        ctl_msgs.labels(kind=kind, **base).inc(n_msgs)
+        ctl_bytes.labels(kind=kind, **base).inc(n_bytes)
+
+    fs = runtime.fault_stats
+    fault_events = registry.counter(
+        "repro_fault_events_total",
+        "Injected faults and recovery-machinery responses, by event",
+        names + ("event",),
+    )
+    for event, count in (
+        ("dropped", fs.dropped),
+        ("duplicated", fs.duplicated),
+        ("delayed", fs.delayed),
+        ("crashed", len(fs.crashed)),
+        ("detections", fs.detections),
+        ("breaker_trips", fs.breaker_trips),
+        ("recoveries", fs.recoveries),
+        ("spares_used", fs.spares_used),
+        ("checkpoints", fs.checkpoints),
+        ("restored", fs.restored),
+        ("lost", fs.lost),
+    ):
+        if count:
+            fault_events.labels(event=event, **base).inc(count)
+
     coll_names = names + ("op",)
     calls = registry.counter(
         "repro_collective_calls_total", "Collective invocations by operation", coll_names

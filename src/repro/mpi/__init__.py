@@ -22,9 +22,11 @@ and ``comm.revoke()`` / ``comm.agree()`` / ``comm.shrink()`` implement
 ULFM-style recovery.
 """
 
+from .checkpoint import PH_SORTED, PH_SPLIT, PH_START, BuddyCheckpointer, Replica
 from .comm import ANY_SOURCE, ANY_TAG, Comm
 from .errors import (
     Aborted,
+    CircuitOpenError,
     CollectiveMismatchError,
     CommRevokedError,
     CommunicatorError,
@@ -36,15 +38,25 @@ from .errors import (
 )
 from .ops import LAND, LOR, MAX, MAXLOC, MIN, MINLOC, PROD, SUM, ReduceOp
 from .payload import copy_payload, payload_nbytes
-from .reliable import DEFAULT_POLICY, RetryPolicy, reliable_recv, reliable_send
+from .reliable import (
+    ADAPTIVE_POLICY,
+    DEFAULT_POLICY,
+    RetryPolicy,
+    reliable_recv,
+    reliable_send,
+)
 from .requests import Request, waitall
 from .resilient import ResilientComm
 from .runtime import Runtime, Stats, StatsSnapshot, run_spmd
+from .spare import PoolVerdict
 
 __all__ = [
+    "ADAPTIVE_POLICY",
     "ANY_SOURCE",
     "ANY_TAG",
     "Aborted",
+    "BuddyCheckpointer",
+    "CircuitOpenError",
     "CollectiveMismatchError",
     "Comm",
     "CommRevokedError",
@@ -59,9 +71,14 @@ __all__ = [
     "MINLOC",
     "MessageLeakError",
     "MessageTimeoutError",
+    "PH_SORTED",
+    "PH_SPLIT",
+    "PH_START",
     "PROD",
+    "PoolVerdict",
     "RankFailedError",
     "ReduceOp",
+    "Replica",
     "Request",
     "ResilientComm",
     "RetryPolicy",

@@ -1,0 +1,178 @@
+"""Buddy checkpointing: in-memory partition replication over the ARQ ring.
+
+Diskless checkpoint/restart in the style of Plank's diskless
+checkpointing and the buddy schemes of SCR/Fenix: at every phase
+boundary of an epoch, each rank replicates its partition and a
+*phase-progress marker* to its **buddy** — the occupant of the next ring
+position, ``(pos + 1) % p`` — over the reliable (ARQ) channel
+:data:`~repro.mpi.tags.CHECKPOINT_TAG`.  The replica lives in the
+buddy's process memory (here: its rank thread's
+:class:`BuddyCheckpointer` instance), so the failure model is honest:
+
+* a rank crash destroys that rank's *own* state **and every replica it
+  held for others** — the thread unwinds and the checkpointer object
+  dies with it;
+* a single failure at position ``i`` is always recoverable from the
+  buddy at ``(i + 1) % p`` (if it survived);
+* adjacent double failures lose the partition — the recovery layer
+  counts it in ``FaultStats.lost`` and the chaos oracle subtracts it
+  from the conservation check.
+
+The ring exchange is deadlock-free even though the ARQ sender blocks for
+its acknowledgement: every blocked reliable operation *services the
+whole channel* (see :mod:`repro.mpi.reliable`), so a ring of
+``reliable_send``s to successors completes — each rank acknowledges its
+predecessor's replica while waiting for its own ack.
+
+All checkpoint traffic is control-plane (``control="checkpoint"``): it
+is tallied in :meth:`Stats.record_control` instead of the data-plane
+byte counters, so ``wire_bytes`` stays comparable between runs with and
+without checkpointing.
+
+Phase markers
+-------------
+``PH_START < PH_SORTED < PH_SPLIT`` order the restartable points of one
+epoch of the histogram sort:
+
+* :data:`PH_START` — replica holds the rank's *input* partition;
+* :data:`PH_SORTED` — replica holds the locally sorted (possibly
+  packed) partition; the local-sort phase need not be redone;
+* :data:`PH_SPLIT` — splitter agreement completed (marker-only update:
+  splitters are identical on every rank, so a survivor re-shares them
+  through the recovery rendezvous instead of the ring).
+
+The recovery layer resumes an epoch from the *minimum* marker over the
+new membership (:mod:`repro.mpi.spare`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from .comm import Comm
+from .reliable import ADAPTIVE_POLICY, RetryPolicy, reliable_recv, reliable_send
+from .tags import CHECKPOINT_TAG
+
+__all__ = [
+    "PH_START", "PH_SORTED", "PH_SPLIT", "MARKER_NAMES",
+    "Replica", "BuddyCheckpointer",
+]
+
+#: epoch entered; replica payload is the input partition
+PH_START = 0
+#: local sort finished; replica payload is the sorted (packed) partition
+PH_SORTED = 1
+#: splitter agreement finished (marker-only ring update)
+PH_SPLIT = 2
+
+MARKER_NAMES = {PH_START: "start", PH_SORTED: "sorted", PH_SPLIT: "split"}
+
+
+@dataclass
+class Replica:
+    """One buddy replica: a peer's partition at a phase boundary.
+
+    ``origins`` are the *initial* ring positions whose input data the
+    partition carries (normally one; more after a shrink salvaged a lost
+    peer's replica into a survivor) — the unit of the chaos harness's
+    conservation oracle.  ``spec`` is the key-packing plan when the
+    payload is packed (``None`` otherwise) and ``dtype`` the unpacked
+    element type.
+    """
+
+    owner_pos: int
+    marker: int
+    origins: tuple[int, ...]
+    data: np.ndarray
+    spec: Any = None
+    dtype: Any = None
+
+    def unpacked(self) -> np.ndarray:
+        """The replica's payload as unpacked (original-key) elements."""
+        if self.spec is None:
+            return self.data
+        from ..core.keys import unpack_keys
+
+        return unpack_keys(self.data, self.spec, dtype=self.dtype)
+
+
+class BuddyCheckpointer:
+    """One rank's checkpointing endpoint on the replication ring.
+
+    Owned by the rank's thread; holds (at most) one replica — the
+    predecessor's — which models the buddy's process memory: it is lost
+    when this rank crashes.  ``save`` refreshes the full replica,
+    ``save_marker`` advances only the progress marker (splitter
+    agreement changes no data).
+    """
+
+    def __init__(self, policy: RetryPolicy = ADAPTIVE_POLICY):
+        self.policy = policy
+        #: the predecessor's replica (None until the first ring exchange)
+        self.held: Replica | None = None
+
+    # ------------------------------------------------------------------ ring
+
+    def _ring(self, comm: Comm, payload: Replica | tuple) -> None:
+        """One ring exchange: send ``payload`` to the successor, hold what
+        the predecessor sent.  ``p == 1`` degenerates to self-buddying —
+        the replica dies with its owner either way, so nothing travels."""
+        p = comm.size
+        if p == 1:
+            if isinstance(payload, Replica):
+                self.held = payload
+            else:  # marker-only update of the (self-held) replica
+                if self.held is not None:
+                    self.held.marker = payload[1]
+            return
+        succ = (comm.rank + 1) % p
+        pred = (comm.rank - 1) % p
+        reliable_send(comm, payload, succ, CHECKPOINT_TAG, self.policy,
+                      control="checkpoint")
+        got = reliable_recv(comm, pred, CHECKPOINT_TAG)
+        if isinstance(got, Replica):
+            self.held = got
+        elif self.held is not None and self.held.owner_pos == got[0]:
+            self.held.marker = got[1]
+
+    # ------------------------------------------------------------------- API
+
+    def save(self, comm: Comm, marker: int, origins: tuple[int, ...],
+             data: np.ndarray, spec: Any = None, dtype: Any = None) -> None:
+        """Replicate this rank's partition at a phase boundary.
+
+        Collective over the ring: every rank must call it (the successor
+        is blocked receiving).  Counted in ``FaultStats.checkpoints``
+        (deterministic: one per rank per boundary reached).
+        """
+        comm._rt._count_fault("checkpoints")
+        rep = Replica(owner_pos=comm.rank, marker=marker, origins=origins,
+                      data=data, spec=spec,
+                      dtype=dtype if dtype is not None else data.dtype)
+        self._ring(comm, rep)
+
+    def save_marker(self, comm: Comm, marker: int) -> None:
+        """Advance only the progress marker at the buddy (splitter
+        agreement: the data is unchanged, so a full replica would waste
+        a partition's worth of wire).  Collective over the ring."""
+        comm._rt._count_fault("checkpoints")
+        self._ring(comm, (comm.rank, marker))
+
+    # ------------------------------------------------------------- transfers
+
+    def restore_send(self, comm: Comm, target: int) -> None:
+        """Ship the held replica to ``target`` (a substitute or a dataless
+        survivor) over the checkpoint channel of the *new* communicator."""
+        assert self.held is not None
+        reliable_send(comm, self.held, target, CHECKPOINT_TAG, self.policy,
+                      control="checkpoint")
+
+    @staticmethod
+    def restore_recv(comm: Comm, holder: int) -> Replica:
+        """Receive a replica from ``holder``; counted as a restore."""
+        rep = reliable_recv(comm, holder, CHECKPOINT_TAG)
+        comm._rt._count_fault("restored")
+        return rep

@@ -68,12 +68,18 @@ class _Mailbox:
         self.cond = threading.Condition()
         self.messages: list[_Message] = []
 
-    def find(self, source: int, tag: int, *, remove: bool) -> _Message | None:
-        """First message matching (source, tag); wildcards are ``-1``."""
+    def find(self, source: int, tag: int, *, remove: bool,
+             visible=None) -> _Message | None:
+        """First message matching (source, tag); wildcards are ``-1``.
+
+        ``visible`` optionally filters matches: messages it rejects are
+        skipped (and left in place) as if they had not arrived yet — the
+        reliable layer uses this to keep data a crash-pending rank may
+        not ack yet out of its channel waits."""
         for i, m in enumerate(self.messages):
             if (source == ANY_SOURCE or m.src == source) and (
                 tag == ANY_TAG or m.tag == tag
-            ):
+            ) and (visible is None or visible(m)):
                 return self.messages.pop(i) if remove else m
         return None
 
@@ -111,6 +117,16 @@ class _CommState:
         self.rel_delivered: dict[tuple[int, int, int], int] = {}
         self.rel_buf: dict[tuple[int, int, int], list[tuple[Any, float]]] = {}
         self.rel_ackseq: dict[tuple[int, int, int, int], int] = {}
+        # per-sequence data arrivals already acknowledged: duplicate
+        # copies of one transmission share an arrival and get ONE ack
+        # (see _process — a second ack with its own fate would make the
+        # sender's release time depend on processing order)
+        self.rel_ack_sent: dict[tuple[int, int, int, int], list[float]] = {}
+        # adaptive-ARQ extensions, same (own rank, peer, tag) ownership
+        # discipline: per-link phi-accrual arrival histories and per-link
+        # consecutive retry-budget exhaustions (the circuit breaker).
+        self.rel_detect: dict[tuple[int, int, int], Any] = {}
+        self.rel_breaker: dict[tuple[int, int, int], int] = {}
         #: serial number of this communicator (set by the runtime registry);
         #: together with the per-rank collective sequence number it matches
         #: the spans of one collective invocation across ranks.
@@ -299,14 +315,32 @@ class _CommState:
         return all(idx in deps or self.world_ranks[idx] in failed
                    for idx in range(self.size))
 
-    def _pending_protocol(self, idx: int) -> bool:
+    def _pending_protocol(
+        self, idx: int, exclude: tuple[int, int] | None = None
+    ) -> bool:
         """Any reliable-layer wire message sitting in ``idx``'s mailbox?
         Read without the mailbox lock — callers are the quiescence arbiter
         (mailboxes stable) and the ft wait loop (re-checked under
         ``ft_cond``, which orders against the sender's post-append
-        notification)."""
+        notification).  ``exclude`` mirrors
+        :func:`~repro.mpi.reliable.service_pending`: messages matching
+        that receive pattern belong to the wait itself, not the channel
+        servicer.  Data the rank may not ack yet — a crash-pending rank's
+        clock-bounded servicing, :func:`~repro.mpi.reliable.deferred` —
+        does not count: waking for it would spin, since the drain leaves
+        it in place."""
+        comm = None
         for m in self.mailboxes[idx].messages:
             if RELIABLE_BASE <= m.tag < RELIABLE_BASE + NAMESPACE_WIDTH:
+                if exclude is not None \
+                        and (exclude[0] < 0 or m.src == exclude[0]) \
+                        and (exclude[1] < 0 or m.tag == exclude[1]):
+                    continue
+                if comm is None:
+                    from .reliable import deferred
+                    comm = Comm(self, idx)
+                if deferred(comm, m):
+                    continue
                 return True
         return False
 
@@ -333,6 +367,14 @@ class _CommState:
         reg = rt._registry
         wr = self.world_ranks[idx]
         drain = comm is not None and rt._faults is not None
+
+        def pending() -> bool:
+            # ``comm`` may live on a *different* communicator state than the
+            # rendezvous (the spare-pool protocol runs on the world state
+            # while ARQ channels run on the work communicator): the drain
+            # check must look at the servicing comm's own mailbox.
+            return comm._state._pending_protocol(comm.rank)
+
         if self.aborted:
             raise Aborted(f"runtime aborted before '{name}'")
         with self.ft_cond:
@@ -346,7 +388,7 @@ class _CommState:
             def can_progress() -> bool:
                 return (self.aborted or gen in self.ft_results
                         or self._ft_quorum(gen)
-                        or (drain and self._pending_protocol(idx)))
+                        or (drain and pending()))
 
             def wake() -> None:
                 with self.ft_cond:
@@ -362,7 +404,7 @@ class _CommState:
                         self._ft_try_complete(gen, combine, cost_fn)
                         if gen in self.ft_results:
                             break
-                        if not (drain and self._pending_protocol(idx)):
+                        if not (drain and pending()):
                             reg.rearm(wr)
                             self.ft_cond.wait()
                         # Mark the wake in flight (or the drain below) so
@@ -476,7 +518,8 @@ class Comm:
 
     def send(self, obj: Any, dest: int, tag: int = 0, *,
              _at: float | None = None, _stream: int = 0,
-             _event: tuple[int, ...] | None = None) -> None:
+             _event: tuple[int, ...] | None = None,
+             _control: str | None = None) -> None:
         """Buffered (eager) send: never blocks.
 
         Under a fault plan the message may be dropped, duplicated, or
@@ -493,6 +536,13 @@ class Comm:
         timestamp is independent of what else this rank happened to be
         doing — a prerequisite for deterministic virtual times under
         faults.  ``_at`` sends are not crash checkpoints.
+
+        ``_control`` classifies the payload as control-plane traffic of
+        the named kind (``"arq"`` acks/retransmissions, ``"checkpoint"``
+        buddy replication, ``"heartbeat"``): it is tallied in
+        :meth:`Stats.record_control` instead of the data-plane
+        ``bytes_sent`` counters, keeping ``wire_bytes`` comparable across
+        runs with and without the recovery machinery.
         """
         self._check_peer(dest)
         rt = self._rt
@@ -505,7 +555,10 @@ class Comm:
         if _at is None:
             self.clock = departure
         msg = _Message(self._rank, tag, copy_payload(obj), departure, nbytes)
-        rt.stats.record_send(self.world_rank, nbytes)
+        if _control is None:
+            rt.stats.record_send(self.world_rank, nbytes)
+        else:
+            rt.stats.record_control(self.world_rank, nbytes, _control)
         rec = rt.trace
         wdest = self._state.world_ranks[dest]
         san = rt.sanitizer
@@ -554,9 +607,21 @@ class Comm:
             # one (see repro.analyze.runtime_check lock-ordering notes).
             chk.note_send(self._state, dest, self._rank, tag)
         mb = self._state.mailboxes[dest]
+        # Reliable wire traffic to a crashed rank diverts to the
+        # post-mortem path — the failed check shares the mailbox
+        # condition with the crash-time drain's scan, so a message is
+        # always either drained by the dying rank or diverted here,
+        # never stranded in the dead mailbox by the race between the
+        # deposit and the crash.
+        divert = (plan is not None
+                  and RELIABLE_BASE <= tag < RELIABLE_BASE + NAMESPACE_WIDTH)
         with mb.cond:
-            mb.messages.append(msg)
-            mb.cond.notify_all()
+            dead = divert and wdest in rt.failed_ranks
+            if not dead:
+                mb.messages.append(msg)
+                mb.cond.notify_all()
+        if dead:
+            self._post_mortem(msg, dest, wdest, _at is not None)
         if fault is not None and fault.duplicate:
             if _at is None:
                 rt._count_fault("duplicated")
@@ -568,14 +633,55 @@ class Comm:
             if chk is not None:
                 chk.note_send(self._state, dest, self._rank, tag)
             with mb.cond:
-                mb.messages.append(dup)
-                mb.cond.notify_all()
+                dead = divert and wdest in rt.failed_ranks
+                if not dead:
+                    mb.messages.append(dup)
+                    mb.cond.notify_all()
+            if dead:
+                self._post_mortem(dup, dest, wdest, _at is not None)
         if plan is not None and \
                 RELIABLE_BASE <= tag < RELIABLE_BASE + NAMESPACE_WIDTH:
             # Wake ft-blocked members so they service the channel (the
             # dest may already sit in agree/shrink; see ft_collective).
             with self._state.ft_cond:
                 self._state.ft_cond.notify_all()
+            # The dest may instead be waiting in the spare-pool rendezvous,
+            # which lives on the *world* state while this channel lives on
+            # the work communicator — poke that condition too (waiters
+            # re-check their predicates, so a spurious wake is harmless).
+            ws = rt.world_state
+            if ws is not self._state:
+                with ws.ft_cond:
+                    ws.ft_cond.notify_all()
+
+    def _post_mortem(self, msg: "_Message", dest: int, wdest: int,
+                     protocol: bool) -> None:
+        """Deterministic fate for reliable wire traffic addressed to a
+        crashed rank: if the message's virtual arrival precedes the
+        crash instant, process it on the dead rank's behalf — the same
+        cut :func:`~repro.mpi.reliable.crash_drain` applies to traffic
+        deposited before the crash — so the ack it owes goes out with
+        its causal timestamp.  Later arrivals, and protocol (ack)
+        messages that could only release a wait the dead rank no longer
+        runs, die with the rank.  Serialized per dead rank against the
+        crash-time drain and other senders; channel dict entries are
+        keyed by the dead rank, which never touches them again."""
+        if protocol:
+            return
+        rt = self._rt
+        lock = rt._dead_channel_locks.get(wdest)
+        t_c = rt.crash_clocks.get(wdest)
+        if lock is None or t_c is None:
+            # Dead for a reason other than an injected crash (e.g. an
+            # error unwound the rank): no cut is defined, message dies.
+            return
+        dcomm = type(self)(self._state, dest)
+        if dcomm._arrival(msg) > t_c:
+            return
+        from .reliable import _process  # circular at module level
+
+        with lock:
+            _process(dcomm, msg, msg.tag - RELIABLE_BASE)
 
     def recv(
         self,
@@ -653,13 +759,15 @@ class Comm:
     def _recv_message(
         self, source: int, tag: int, *, timeout: float | None = None,
         fail_source: int | None = None, span_name: str = "recv",
+        visible=None,
     ) -> _Message:
         """Clock-neutral matching receive: returns the raw message without
         advancing this rank's clock or recording a span (the caller decides
         when the arrival is merged — the reliable layer consumes channel
         traffic on behalf of *later* operations).  ``fail_source`` names a
         group rank whose death fails the wait even under ``ANY_SOURCE``
-        matching; a named ``source`` implies it."""
+        matching; a named ``source`` implies it.  ``visible`` filters the
+        mailbox match (see :meth:`_Mailbox.find`)."""
         if source != ANY_SOURCE:
             self._check_peer(source)
             if fail_source is None:
@@ -671,17 +779,17 @@ class Comm:
                 if chk is not None:
                     chk.maybe_raise_deadlock()
                 raise Aborted("runtime aborted during recv")
-            msg = mb.find(source, tag, remove=True)
+            msg = mb.find(source, tag, remove=True, visible=visible)
             if msg is not None and chk is not None:
                 chk.note_consume(self._state, self._rank, msg.src, msg.tag)
         if msg is None:
             msg = self._recv_wait(mb, source, tag, timeout, span_name,
-                                  fail_source)
+                                  fail_source, visible)
         return msg
 
     def _recv_wait(
         self, mb: _Mailbox, source: int, tag: int, timeout: float | None,
-        span_name: str, fail_source: int | None,
+        span_name: str, fail_source: int | None, visible=None,
     ) -> _Message:
         """Slow path of :meth:`recv`: block until a matching message, an
         abort/revocation/failure wake-up, or a fired virtual deadline."""
@@ -694,6 +802,18 @@ class Comm:
         entry = float(rt.clocks[wr])
         deadline = None if timeout is None else entry + timeout
 
+        # With faults active, a blocked receive doubles as a channel
+        # servicer (like the ft waits): reliable wire traffic on *other*
+        # tags is acked/buffered from here, so a serviceable message can
+        # never sit stranded at quiescence — whether its ack goes out
+        # before a peer's virtual deadline must not depend on thread
+        # scheduling.  The wait's own (source, tag) pattern is excluded:
+        # consuming the quarry from the servicer would starve the wait.
+        drain = rt._faults is not None
+
+        def pending() -> bool:
+            return state._pending_protocol(rank, exclude=(source, tag))
+
         def can_progress() -> bool:
             # Mirrors the wake conditions of the loop below; called by the
             # timeout arbiter at quiescence only (mailbox lists are stable
@@ -704,7 +824,9 @@ class Comm:
             # The arbiter hoists revoked waits at quiescence instead.
             if state.aborted:
                 return True
-            if mb.find(source, tag, remove=False) is not None:
+            if mb.find(source, tag, remove=False, visible=visible) is not None:
+                return True
+            if drain and pending():
                 return True
             failed = rt.failed_ranks
             if failed:
@@ -731,60 +853,74 @@ class Comm:
                       can_progress=can_progress, notify=wake,
                       revocable=lambda: state.revoked)
         try:
-            with mb.cond:
-                while True:
-                    if state.aborted:
-                        if chk is not None:
-                            chk.maybe_raise_deadlock()
-                        raise Aborted("runtime aborted during recv")
-                    msg = mb.find(source, tag, remove=True)
-                    if msg is not None:
-                        if chk is not None:
-                            chk.note_consume(state, rank, msg.src, msg.tag)
-                        return msg
-                    failed = rt.failed_ranks
-                    if failed:
-                        comm_failed = failed & state._members_set
-                        if fail_source is not None and \
-                                state.world_ranks[fail_source] in failed:
-                            raise RankFailedError(
-                                f"recv: peer rank {fail_source} (world "
-                                f"{state.world_ranks[fail_source]}) has failed",
-                                comm_failed,
+            while True:
+                with mb.cond:
+                    while True:
+                        if state.aborted:
+                            if chk is not None:
+                                chk.maybe_raise_deadlock()
+                            raise Aborted("runtime aborted during recv")
+                        msg = mb.find(source, tag, remove=True,
+                                      visible=visible)
+                        if msg is not None:
+                            if chk is not None:
+                                chk.note_consume(state, rank, msg.src, msg.tag)
+                            return msg
+                        failed = rt.failed_ranks
+                        if failed:
+                            comm_failed = failed & state._members_set
+                            if fail_source is not None and \
+                                    state.world_ranks[fail_source] in failed:
+                                raise RankFailedError(
+                                    f"recv: peer rank {fail_source} (world "
+                                    f"{state.world_ranks[fail_source]}) has "
+                                    "failed",
+                                    comm_failed,
+                                )
+                            if fail_source is None and source == ANY_SOURCE \
+                                    and all(
+                                        r in failed
+                                        for i, r in enumerate(state.world_ranks)
+                                        if i != rank
+                                    ):
+                                raise RankFailedError(
+                                    "recv: every peer on "
+                                    f"comm#{state.trace_id} has failed",
+                                    comm_failed,
+                                )
+                        if w.hoisted:
+                            raise CommRevokedError(
+                                f"communicator #{state.trace_id} was revoked "
+                                "while blocked in recv"
                             )
-                        if fail_source is None and source == ANY_SOURCE and all(
-                            r in failed
-                            for i, r in enumerate(state.world_ranks)
-                            if i != rank
-                        ):
-                            raise RankFailedError(
-                                "recv: every peer on "
-                                f"comm#{state.trace_id} has failed",
-                                comm_failed,
+                        if w.fired:
+                            rt.clocks[wr] = max(float(rt.clocks[wr]), w.deadline)
+                            rec = rt.trace
+                            if rec is not None:
+                                rec.record(wr, f"{span_name}_timeout", "fault",
+                                           entry, float(rt.clocks[wr]),
+                                           tag=tag, deadline=w.deadline)
+                            raise MessageTimeoutError(
+                                f"{detail} timed out at virtual "
+                                f"t={w.deadline:.6g}s (timeout={timeout:g}s)"
                             )
-                    if w.hoisted:
-                        raise CommRevokedError(
-                            f"communicator #{state.trace_id} was revoked "
-                            "while blocked in recv"
-                        )
-                    if w.fired:
-                        rt.clocks[wr] = max(float(rt.clocks[wr]), w.deadline)
-                        rec = rt.trace
-                        if rec is not None:
-                            rec.record(wr, f"{span_name}_timeout", "fault",
-                                       entry, float(rt.clocks[wr]),
-                                       tag=tag, deadline=w.deadline)
-                        raise MessageTimeoutError(
-                            f"{detail} timed out at virtual "
-                            f"t={w.deadline:.6g}s (timeout={timeout:g}s)"
-                        )
-                    if chk is not None:
-                        chk.block_recv(state, rank, source, tag)
-                    reg.rearm(wr)
-                    mb.cond.wait()
-                    reg.wake_ack(wr)
-                    if chk is not None:
-                        chk.unblock(wr)
+                        if drain and pending():
+                            # Serviceable channel traffic: mark the wake in
+                            # flight so the arbiter holds its fire until the
+                            # repoll below, then drain outside the mailbox
+                            # condition (acking acquires peers' conditions —
+                            # holding ours across that inverts lock order).
+                            reg.wake_ack(wr)
+                            break
+                        if chk is not None:
+                            chk.block_recv(state, rank, source, tag)
+                        reg.rearm(wr)
+                        mb.cond.wait()
+                        reg.wake_ack(wr)
+                        if chk is not None:
+                            chk.unblock(wr)
+                self._service_channels(exclude=(source, tag))
+                reg.repoll(wr)
         finally:
             reg.unblock(wr)
 
@@ -1239,12 +1375,12 @@ class Comm:
         )
         return type(self)(new_state, mapping[self._rank])
 
-    def _service_channels(self) -> int:
+    def _service_channels(self, exclude: tuple[int, int] | None = None) -> int:
         """Drain and process pending reliable-layer wire traffic (clock
         neutral; see :func:`repro.mpi.reliable.service_pending`)."""
         from .reliable import service_pending  # circular at module level
 
-        return service_pending(self)
+        return service_pending(self, exclude)
 
     # --------------------------------------------------------------- helpers
 

@@ -110,6 +110,19 @@ class MessageTimeoutError(CommunicatorError):
     """
 
 
+class CircuitOpenError(MessageTimeoutError):
+    """A reliable link's circuit breaker is open (ULFM-adjacent degradation).
+
+    After ``RetryPolicy.breaker_threshold`` consecutive reliable sends on
+    one ``(dest, tag)`` channel exhausted their retry budgets, further
+    sends on that channel fail fast with this error instead of paying
+    another doomed retry ladder.  A subclass of
+    :class:`MessageTimeoutError`, so recovery loops that absorb timeouts
+    absorb open breakers identically; the breaker is per communicator and
+    resets when recovery shrinks or substitutes onto a fresh one.
+    """
+
+
 class RankCrashed(BaseException):
     """Internal signal unwinding a rank that a fault plan just killed.
 

@@ -42,7 +42,7 @@ import numpy as np
 from .comm import Comm
 from .ops import SUM, ReduceOp
 from .payload import copy_payload
-from .reliable import DEFAULT_POLICY, RetryPolicy, reliable_recv, reliable_send
+from .reliable import ADAPTIVE_POLICY, RetryPolicy, reliable_recv, reliable_send
 from .tags import RESILIENT_COLL_TAG
 
 __all__ = ["ResilientComm"]
@@ -53,8 +53,11 @@ _CH = RESILIENT_COLL_TAG
 class ResilientComm(Comm):
     """Drop-in :class:`Comm` whose collectives ride the reliable p2p layer."""
 
-    #: retry schedule used by all collectives of this communicator
-    policy: RetryPolicy = DEFAULT_POLICY
+    #: retry schedule used by all collectives of this communicator:
+    #: phi-accrual-adaptive deadlines (per-link arrival histories) with a
+    #: 3-strike circuit breaker.  Faultless runs never reach a deadline, so
+    #: the adaptive schedule cannot perturb their clocks.
+    policy: RetryPolicy = ADAPTIVE_POLICY
 
     # ------------------------------------------------------------ primitives
 

@@ -20,7 +20,7 @@ import os
 import threading
 import warnings
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -60,6 +60,12 @@ class StatsSnapshot:
     msgs_sent: np.ndarray
     compute_time: np.ndarray
     collectives: dict[str, tuple[int, float, int]]
+    #: control-plane traffic by kind (``arq`` acks/retransmissions,
+    #: ``checkpoint`` buddy replication, ``heartbeat`` liveness probes) as
+    #: ``kind -> (messages, bytes)`` — kept OUT of ``bytes_sent``/
+    #: ``wire_bytes`` so data-plane traffic cells stay comparable across
+    #: runs with and without the recovery machinery.
+    control: dict[str, tuple[int, float]] = field(default_factory=dict)
 
     @property
     def total_bytes_sent(self) -> int:
@@ -83,10 +89,19 @@ class StatsSnapshot:
 
     @property
     def wire_bytes(self) -> float:
-        """Bytes on wire: point-to-point payloads plus collective payloads
-        (the two are disjoint counters — see :meth:`Stats.record_send` vs
-        :meth:`Stats.record_collective`)."""
+        """Data-plane bytes on wire: point-to-point payloads plus
+        collective payloads (the two are disjoint counters — see
+        :meth:`Stats.record_send` vs :meth:`Stats.record_collective`).
+        Control-plane traffic (:attr:`control`) is excluded."""
         return float(self.total_bytes_sent) + self.total_collective_bytes
+
+    @property
+    def total_control_bytes(self) -> float:
+        return float(sum(v[1] for v in self.control.values()))
+
+    @property
+    def total_control_msgs(self) -> int:
+        return int(sum(v[0] for v in self.control.values()))
 
 
 class Stats:
@@ -106,11 +121,21 @@ class Stats:
         self._lock = threading.Lock()
         #: collective name -> [calls, total payload bytes, participant-ranks total]
         self.collectives: dict[str, list[float]] = defaultdict(lambda: [0, 0.0, 0])
+        #: control kind -> [messages, bytes] (ARQ acks/retransmissions,
+        #: checkpoint replication, heartbeats); disjoint from the data-plane
+        #: counters above
+        self.control: dict[str, list[float]] = defaultdict(lambda: [0, 0.0])
 
     def record_send(self, world_rank: int, nbytes: int) -> None:
         with self._lock:
             self.bytes_sent[world_rank] += nbytes
             self.msgs_sent[world_rank] += 1
+
+    def record_control(self, world_rank: int, nbytes: int, kind: str) -> None:
+        with self._lock:
+            entry = self.control[kind]
+            entry[0] += 1
+            entry[1] += nbytes
 
     def record_compute(self, world_rank: int, seconds: float) -> None:
         with self._lock:
@@ -135,6 +160,10 @@ class Stats:
                     k: (int(v[0]), float(v[1]), int(v[2]))
                     for k, v in sorted(self.collectives.items())
                 },
+                control={
+                    k: (int(v[0]), float(v[1]))
+                    for k, v in sorted(self.control.items())
+                },
             )
 
     def summary(self) -> dict[str, Any]:
@@ -145,6 +174,7 @@ class Stats:
             "msgs_sent": snap.total_msgs_sent,
             "compute_time_max": float(snap.compute_time.max(initial=0.0)),
             "collectives": dict(snap.collectives),
+            "control": dict(snap.control),
         }
 
 
@@ -194,6 +224,16 @@ class Runtime:
         crashes) — all decisions seeded and deterministic.  ``None`` (the
         default) leaves the runtime bit-identical to one built without
         the fault machinery: clocks, statistics, and traces are unchanged.
+    spares:
+        Warm spare ranks held in reserve for the recovery layer: the
+        runtime spawns ``size + spares`` threads, but the rank function
+        runs only on the first ``size`` (the *actives*, on their own
+        communicator); spares sit in the spare-pool rendezvous
+        (:mod:`repro.mpi.spare`) until a failure substitutes one for a
+        crashed active — keeping the rank count, and with it every tuned
+        plan, valid.  A fault plan must be built for ``size + spares``
+        ranks (spares can crash too).  ``0`` (the default) changes
+        nothing: actives run directly on the world communicator.
     """
 
     def __init__(
@@ -208,22 +248,29 @@ class Runtime:
         check: bool | None = None,
         sanitize: bool | None = None,
         faults: FaultPlan | None = None,
+        spares: int = 0,
     ):
         if size < 1:
             raise ValueError("size must be >= 1")
-        if faults is not None and faults.size != size:
+        if spares < 0:
+            raise ValueError("spares must be >= 0")
+        total = size + spares
+        if faults is not None and faults.size != total:
             raise ValueError(
-                f"fault plan was built for {faults.size} ranks, runtime has {size}"
+                f"fault plan was built for {faults.size} ranks, runtime has "
+                f"{total} ({size} active + {spares} spare)"
             )
-        self.size = size
+        self.size = total
+        self.active_size = size
+        self.spares = spares
         if cost_model is None:
             if machine is None:
-                machine = abstract_cluster(max(1, math.ceil(size / 16)))
-            placement = make_placement(machine, size, ranks_per_node)
+                machine = abstract_cluster(max(1, math.ceil(total / 16)))
+            placement = make_placement(machine, total, ranks_per_node)
             cost_model = CostModel(placement, use_shm=use_shm)
         self.cost = cost_model
-        self.clocks = np.zeros(size, dtype=np.float64)
-        self.stats = Stats(size)
+        self.clocks = np.zeros(total, dtype=np.float64)
+        self.stats = Stats(total)
         self.trace: TraceRecorder | None = None
         self.checker = None
         if check is None:
@@ -248,12 +295,24 @@ class Runtime:
         self.failed_ranks: set[int] = set()
         self.fault_stats = FaultStats()
         self._fault_lock = threading.Lock()
-        self._op_counts = [0] * size
+        self._op_counts = [0] * total
         self._fault_deadlock: str | None = None
         #: always-on wait registry: blocked-rank introspection for run
         #: timeouts, plus the virtual-time timeout / deadlock arbiter
-        self._registry = WaitRegistry(size)
-        self.world_state = _CommState(self, range(size))
+        #: virtual clock at which each crashed rank died, by world rank —
+        #: the cut that decides which in-flight messages the dead rank
+        #: still acknowledges (see _execute_crash and Comm._post_mortem)
+        self.crash_clocks: dict[int, float] = {}
+        #: per-dead-rank locks serializing post-mortem channel processing
+        #: (the crash-time drain vs. senders emulating owed acks)
+        self._dead_channel_locks: dict[int, threading.Lock] = {}
+        self._registry = WaitRegistry(total)
+        self.world_state = _CommState(self, range(total))
+        #: the communicator the rank function runs on: the world when
+        #: there are no spares (bit-identical legacy path), otherwise a
+        #: separate state over the active ranks only
+        self.active_state = (self.world_state if spares == 0
+                             else _CommState(self, range(size)))
         if trace:
             self.trace = TraceRecorder(self)
 
@@ -294,6 +353,28 @@ class Runtime:
         with self._fault_lock:
             setattr(self.fault_stats, kind, getattr(self.fault_stats, kind) + 1)
 
+    def _count_detection(self, wait) -> None:
+        """A virtual deadline fired (quiescence arbiter): under a fault
+        plan this is a failure *suspicion* of the adaptive detector, so it
+        counts toward ``FaultStats.detections``.  Fired deadlines are
+        quiescence-determined, hence a pure function of the seed."""
+        if self._faults is not None:
+            self._count_fault("detections")
+
+    def crash_pending(self, world_rank: int) -> bool:
+        """Does ``world_rank`` have a planned crash it has not reached yet?
+
+        While this is true the rank's channel servicing must stay
+        *clock-bounded* (see :func:`repro.mpi.reliable.service_pending`):
+        acking a message whose virtual arrival lies beyond the rank's own
+        clock would assert the rank was alive at a time its upcoming crash
+        may prove it was not — and whether the wall-clock thread schedule
+        let it service that message before reaching the crash op is
+        exactly the kind of accident virtual time must not observe."""
+        plan = self._faults
+        return (plan is not None and world_rank in plan.crashes
+                and world_rank not in self.failed_ranks)
+
     def maybe_crash(self, world_rank: int) -> None:
         """Crash checkpoint: called by the communication layer at the top
         of every p2p/collective operation of ``world_rank`` (own thread
@@ -312,17 +393,41 @@ class Runtime:
 
     def _execute_crash(self, world_rank: int) -> None:
         """Kill ``world_rank`` (called on its own thread): record the
-        failure, wake every operation it could be participating in, and
-        unwind the thread with :class:`RankCrashed`."""
+        failure, drain the channel traffic the rank still owes acks for,
+        wake every operation it could be participating in, and unwind the
+        thread with :class:`RankCrashed`."""
+        now = float(self.clocks[world_rank])
+        lock = threading.Lock()
         with self._fault_lock:
+            # Lock and clock must be visible before the failure is: a
+            # sender that observes ``failed_ranks`` diverts to the
+            # post-mortem path, which needs both.
+            self._dead_channel_locks[world_rank] = lock
+            self.crash_clocks[world_rank] = now
             self.failed_ranks.add(world_rank)
             self.fault_stats.crashed.append(world_rank)
-        now = float(self.clocks[world_rank])
         if self.trace is not None:
             self.trace.record(world_rank, "crash", "fault", now, now,
                               op=self._op_counts[world_rank])
         with self._registry_lock:
             states = list(self._states)
+        # Final channel drain: acknowledge every reliable message whose
+        # virtual arrival precedes the crash instant.  Whether the dying
+        # rank's thread happened to service a message before reaching its
+        # crash op is a wall-clock accident; cutting by virtual arrival
+        # time makes "did the dead rank ack me" a pure function of the
+        # schedule.  Runs before peers are notified, so a peer that
+        # observes the failure also observes every ack it was owed
+        # (receivers check their mailbox before the failed set).  Late
+        # deposits — senders that race past this drain — take the same
+        # cut in Comm._post_mortem, serialized by the same lock.
+        from .reliable import crash_drain  # circular at module level
+
+        with lock:
+            for state in states:
+                if world_rank in state._members_set:
+                    idx = list(state.world_ranks).index(world_rank)
+                    crash_drain(Comm(state, idx), now)
         for state in states:
             if world_rank in state._members_set:
                 # Peers blocked in a collective see a broken barrier and
@@ -360,9 +465,14 @@ class Runtime:
         Returns the per-rank results.  If any rank raises, all others are
         aborted and an :class:`SPMDError` carrying the per-rank exceptions
         is raised.
+
+        With spares, ``fn`` runs only on the active ranks (indexed by the
+        active communicator); spare slots run the pool loop and yield
+        ``None`` — or, once substituted, whatever the continuation they
+        joined returns.
         """
-        if per_rank_args is not None and len(per_rank_args) != self.size:
-            raise ValueError("per_rank_args must have one entry per rank")
+        if per_rank_args is not None and len(per_rank_args) != self.active_size:
+            raise ValueError("per_rank_args must have one entry per active rank")
 
         results: list[Any] = [None] * self.size
         failures: dict[int, BaseException] = {}
@@ -373,13 +483,20 @@ class Runtime:
         self._registry.begin(
             faults_active=self._faults is not None,
             on_deadlock=self._deadlock_abort,
+            on_fire=self._count_detection,
         )
 
         def worker(rank: int) -> None:
-            comm = self.comm(rank)
-            extra = per_rank_args[rank] if per_rank_args is not None else ()
             try:
-                results[rank] = fn(comm, *args, *extra)
+                if rank < self.active_size:
+                    comm = Comm(self.active_state, rank)
+                    extra = (per_rank_args[rank]
+                             if per_rank_args is not None else ())
+                    results[rank] = fn(comm, *args, *extra)
+                else:
+                    from .spare import spare_main
+
+                    results[rank] = spare_main(self, rank)
             except Aborted:
                 pass  # secondary casualty of another rank's failure
             except RankCrashed:
@@ -518,6 +635,7 @@ def run_spmd(
     check: bool | None = None,
     sanitize: bool | None = None,
     faults: FaultPlan | None = None,
+    spares: int = 0,
     per_rank_args: Sequence[Sequence[Any]] | None = None,
     timeout: float | None = None,
     return_runtime: bool = False,
@@ -550,6 +668,7 @@ def run_spmd(
         check=check,
         sanitize=sanitize,
         faults=faults,
+        spares=spares,
     )
     results = rt.run(fn, args=args, per_rank_args=per_rank_args, timeout=timeout)
     if return_runtime:

@@ -34,6 +34,7 @@ __all__ = [
     "HYPERQUICKSORT_ROUND_BASE",
     "RELIABLE_BASE",
     "RESILIENT_COLL_TAG",
+    "CHECKPOINT_TAG",
     "USER_BASE",
     "NAMESPACES",
     "round_tag",
@@ -65,6 +66,11 @@ USER_BASE = 8 * NAMESPACE_WIDTH
 #: channel tag (inside the reliable namespaces) that the collectives of
 #: :class:`repro.mpi.resilient.ResilientComm` multiplex over
 RESILIENT_COLL_TAG = 500_000
+
+#: channel tag of the buddy-checkpoint replication ring and restore
+#: transfers (:mod:`repro.mpi.checkpoint`); disjoint from the resilient
+#: collective channel so recovery traffic never reorders data traffic
+CHECKPOINT_TAG = 500_001
 
 #: namespace name -> (base, owner module); consumed by the TAG-COLLISION rule
 NAMESPACES: dict[str, tuple[int, str]] = {

@@ -74,10 +74,14 @@ class WaitRegistry:
         self._arrivals: dict[int, int] = {}
         self._faults_active = False
         self._on_deadlock: Callable[[str], None] | None = None
+        self._on_fire: Callable[[WaitInfo], None] | None = None
 
     def begin(self, *, faults_active: bool,
-              on_deadlock: Callable[[str], None] | None = None) -> None:
-        """Reset for a fresh run."""
+              on_deadlock: Callable[[str], None] | None = None,
+              on_fire: Callable[[WaitInfo], None] | None = None) -> None:
+        """Reset for a fresh run.  ``on_fire`` observes every fired
+        virtual deadline (the failure detector's *suspicion* events —
+        quiescence-determined, hence deterministic; used for counting)."""
         with self._lock:
             self._state = [RUNNING] * self.size
             self._waits = [None] * self.size
@@ -85,6 +89,7 @@ class WaitRegistry:
             self._arrivals.clear()
             self._faults_active = faults_active
             self._on_deadlock = on_deadlock
+            self._on_fire = on_fire
 
     # -- transitions -----------------------------------------------------
 
@@ -232,6 +237,9 @@ class WaitRegistry:
             return
         what, payload = action
         if what == "fire":
+            cb = self._on_fire
+            if cb is not None:
+                cb(payload)
             if payload.notify is not None:
                 payload.notify()
         elif what == "hoist":

@@ -1,0 +1,222 @@
+"""Lossless recovery: buddy checkpointing, spare substitution, breakers.
+
+Exercises the pool-based recovery path of :mod:`repro.core.resilient`
+(``SortConfig(checkpoint=True)`` / ``Runtime(spares=k)``): crashed ranks
+are replaced by warm spares, their partitions restored from buddy
+replicas, and the sort resumes from the last checkpointed phase — the
+no-data-loss contract the chaos harness verifies at scale.  Also pins
+the degradation machinery (phi-accrual adaptive deadlines, per-link
+circuit breakers) to typed errors and exact virtual-time replay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SortConfig
+from repro.core.histsort import histogram_sort
+from repro.core.resilient import ResilientSortResult
+from repro.faults import CrashEvent, FaultPlan, FaultSpec
+from repro.faults.chaos import ChaosCase, run_case
+from repro.metrics import MetricsRegistry, collect_runtime, to_prometheus
+from repro.mpi import (
+    ADAPTIVE_POLICY,
+    CircuitOpenError,
+    MessageTimeoutError,
+    Runtime,
+    reliable_recv,
+    reliable_send,
+)
+
+WALL = 120.0
+
+
+def _input(rank: int, n: int, seed: int = 177) -> np.ndarray:
+    rng = np.random.default_rng(seed + rank)
+    return rng.integers(0, 1 << 62, n, dtype=np.int64)
+
+
+def _sorter(comm, n, cfg):
+    return histogram_sort(comm, _input(comm.rank, n), cfg)
+
+
+def _run(p, plan, *, spares=0, checkpoint=True, n=64, check=False):
+    cfg = SortConfig(resilient=True, checkpoint=checkpoint)
+    rt = Runtime(p, spares=spares, faults=plan, check=check)
+    results = rt.run(_sorter, args=(n, cfg), timeout=WALL)
+    live = [r for r in results if isinstance(r, ResilientSortResult)]
+    return rt, live
+
+
+def _expect(ranks, n):
+    parts = [_input(r, n) for r in ranks] or [np.empty(0, np.int64)]
+    return np.sort(np.concatenate(parts))
+
+
+def _crash_plan(seed, size, *crashes, drop=0.05):
+    return FaultPlan(
+        FaultSpec(drop_rate=drop, dup_rate=drop / 2,
+                  crashes=tuple(CrashEvent(rank=r, at_op=op)
+                                for r, op in crashes)),
+        seed=seed, size=size,
+    )
+
+
+def test_spare_substitution_keeps_rank_count_and_all_data():
+    # two crashes, two spares, checkpointing on: p stays 4 and nothing
+    # is lost — the tentpole acceptance case
+    plan = _crash_plan(11, 6, (1, 40), (3, 55))
+    rt, live = _run(4, plan, spares=2)
+    assert sorted(rt.fault_stats.crashed) == [1, 3]
+    assert len(live) == 4
+    first = live[0]
+    assert first.comm.size == 4  # p unchanged
+    assert first.spares_used == 2
+    assert first.lost == ()
+    assert first.failed == (1, 3)
+    got = np.sort(np.concatenate([r.output for r in live]))
+    assert np.array_equal(got, _expect(range(4), 64))  # full multiset
+    chain = np.concatenate(
+        [r.output for r in sorted(live, key=lambda r: r.comm.rank)])
+    assert np.all(chain[:-1] <= chain[1:])
+    assert rt.fault_stats.spares_used == 2
+    assert rt.fault_stats.checkpoints > 0
+    assert rt.fault_stats.lost == 0
+
+
+def test_shrink_fallback_salvages_when_spares_exhausted():
+    # two crashes but only one spare: the second failure falls back to
+    # shrink, yet buddy replicas keep the data (salvage) — lost stays ()
+    plan = _crash_plan(11, 5, (1, 40), (3, 55))
+    rt, live = _run(4, plan, spares=1)
+    assert sorted(rt.fault_stats.crashed) == [1, 3]
+    assert live, "no survivors"
+    first = live[0]
+    assert len(live) == first.comm.size < 4  # shrunk
+    assert first.lost == ()
+    got = np.sort(np.concatenate([r.output for r in live]))
+    assert np.array_equal(got, _expect(range(4), 64))
+
+
+def test_spares_without_checkpoint_report_lost_ranks():
+    # substitution keeps p constant, but with no replicas the crashed
+    # rank's partition is gone — and the result must say so
+    plan = _crash_plan(7, 5, (2, 25))
+    rt, live = _run(4, plan, spares=1, checkpoint=False)
+    assert rt.fault_stats.crashed == [2]
+    assert len(live) == 4
+    first = live[0]
+    assert first.comm.size == 4
+    assert first.spares_used == 1
+    assert first.lost == (2,)
+    got = np.sort(np.concatenate([r.output for r in live]))
+    assert np.array_equal(got, _expect([0, 1, 3], 64))
+
+
+def test_pooled_faultless_matches_legacy_output():
+    # with no faults the lossless machinery must be output-invisible
+    def outputs(**kw):
+        rt, live = _run(4, None, **kw)
+        assert len(live) == 4
+        assert all(r.attempts == 1 and r.lost == () for r in live)
+        return [r.output for r in sorted(live, key=lambda r: r.comm.rank)]
+
+    legacy = outputs(spares=0, checkpoint=False)
+    pooled = outputs(spares=2, checkpoint=True)
+    assert all(np.array_equal(a, b) for a, b in zip(legacy, pooled))
+
+
+def test_recovery_epoch_exact_replay():
+    # a full lossless recovery (crash + restore + substitution) replays
+    # bit-identically: same makespan, clocks, fault tally, outputs
+    def once():
+        plan = _crash_plan(23, 5, (1, 50), drop=0.15)
+        rt, live = _run(4, plan, spares=1)
+        outs = [r.output for r in sorted(live, key=lambda r: r.comm.rank)]
+        return rt.elapsed(), np.array(rt.clocks), rt.fault_stats.summary(), outs
+
+    t_a, clocks_a, stats_a, outs_a = once()
+    t_b, clocks_b, stats_b, outs_b = once()
+    assert t_a == t_b  # exact float equality, not approx
+    assert np.array_equal(clocks_a, clocks_b)
+    assert stats_a == stats_b
+    assert all(np.array_equal(a, b) for a, b in zip(outs_a, outs_b))
+    assert "recoveries=" in stats_a  # the recovery actually happened
+
+
+def test_degraded_link_soak_trips_breaker_not_hang():
+    # a link that eats every message: the adaptive policy's ladder must
+    # end in typed errors and the breaker must open — never a hang (the
+    # Runtime.run timeout is the backstop that would catch one)
+    plan = FaultPlan(FaultSpec(drop_rate=1.0), seed=3, size=2)
+
+    def prog(comm):
+        if comm.rank == 0:
+            for i in range(ADAPTIVE_POLICY.breaker_threshold + 2):
+                try:
+                    reliable_send(comm, i, 1, tag=7, policy=ADAPTIVE_POLICY)
+                except CircuitOpenError:  # subclass — catch before parent
+                    return "circuit-open"
+                except MessageTimeoutError:
+                    continue
+                return "delivered?"
+            return "no-trip"
+        try:
+            while True:
+                reliable_recv(comm, 0, 7, timeout=0.5)
+        except MessageTimeoutError:
+            return "starved"
+
+    rt = Runtime(2, faults=plan)
+    results = rt.run(prog, timeout=WALL)
+    assert results[0] == "circuit-open"
+    assert results[1] == "starved"
+    assert rt.fault_stats.breaker_trips >= 1
+    # fail-fast: the open breaker refuses immediately, with no ladder
+    assert rt.fault_stats.dropped <= ADAPTIVE_POLICY.breaker_threshold * (
+        ADAPTIVE_POLICY.max_attempts + 1)
+
+
+def test_control_traffic_separate_from_wire_bytes():
+    # checkpoint replication and ARQ retransmissions are control-plane:
+    # wire_bytes must not move when checkpointing turns on
+    def snap(checkpoint):
+        plan = FaultPlan(FaultSpec(drop_rate=0.1), seed=31, size=5)
+        rt, live = _run(4, plan, spares=1, checkpoint=checkpoint)
+        assert len(live) == 4
+        return rt.stats.snapshot()
+
+    off = snap(False)
+    on = snap(True)
+    assert "checkpoint" in on.control and "checkpoint" not in off.control
+    ck_msgs, ck_bytes = on.control["checkpoint"]
+    assert ck_msgs > 0 and ck_bytes > 0
+    assert on.control.get("arq", (0, 0))[0] > 0  # retransmissions under drops
+    assert on.wire_bytes == off.wire_bytes  # data plane unchanged
+    assert on.total_control_bytes > off.total_control_bytes
+
+
+def test_recovery_metrics_exported():
+    plan = _crash_plan(11, 6, (1, 40), (3, 55))
+    rt, live = _run(4, plan, spares=2)
+    assert len(live) == 4
+    reg = MetricsRegistry()
+    collect_runtime(reg, rt, labels={"algo": "hist"})
+    text = to_prometheus(reg)
+    assert 'repro_control_bytes_total{algo="hist",kind="checkpoint"}' in text
+    assert 'repro_fault_events_total{algo="hist",event="spares_used"} 2' in text
+    assert 'repro_fault_events_total{algo="hist",event="recoveries"}' in text
+
+
+def test_checkpoint_requires_resilient():
+    with pytest.raises(ValueError, match="requires resilient"):
+        SortConfig(checkpoint=True)
+
+
+def test_chaos_oracle_accepts_lossless_case():
+    out = run_case(ChaosCase(seed=11, size=4, drop_rate=0.1, crash_ranks=2,
+                             n_per_rank=48, check=False, spares=2,
+                             checkpoint=True),
+                   wall_timeout=WALL)
+    assert out.ok, f"{out.kind}: {out.detail}"
