@@ -35,31 +35,40 @@ def make_latencies(rank: int) -> np.ndarray:
 def program(comm):
     local = make_latencies(comm.rank)
     n_total = comm.allreduce(int(local.size))
-    results = {}
-    for pct in PERCENTILES:
-        k = min(int(n_total * pct / 100.0), n_total - 1)
-        results[pct] = repro.nth_element(comm, local, k)
-    return local, results, n_total
+    results = repro.percentile(comm, local, PERCENTILES + (100.0,))
+    worst = repro.top_k(comm, local, 5)
+    return local, results, worst, n_total
+
+
+def nearest_rank(pct: float, n: int) -> int:
+    """Nearest-rank position; exact at both edges (p100 = the maximum)."""
+    import math
+
+    return min(max(math.ceil(pct / 100.0 * n) - 1, 0), n - 1)
 
 
 def main() -> None:
     out = run_spmd(P, program)
-    locals_, results, n_total = zip(*out)
+    locals_, results, worsts, n_total = zip(*out)
     answers = results[0]
 
-    # every rank computed the same percentiles
+    # every rank computed the same percentiles and the same top-5
     for r in results[1:]:
         assert r == answers
+    for w in worsts[1:]:
+        assert np.array_equal(w, worsts[0])
 
     oracle = np.sort(np.concatenate(locals_))
     print(f"latency percentiles over {n_total[0]:,} records on {P} ranks\n")
     print("percentile   distributed     oracle        match")
-    for pct in PERCENTILES:
-        k = min(int(n_total[0] * pct / 100.0), n_total[0] - 1)
-        ours, ref = answers[pct], oracle[k]
+    for pct in PERCENTILES + (100.0,):
+        ref = oracle[nearest_rank(pct, n_total[0])]
+        ours = answers[pct]
         print(f"   p{pct:<6}  {ours * 1e3:9.2f} ms  {ref * 1e3:9.2f} ms   {ours == ref}")
         assert ours == ref
-    print("\nno record ever left its rank - selection moved O(P log N) scalars")
+    assert np.array_equal(worsts[0], oracle[-5:][::-1])
+    print(f"\nworst 5 latencies: {[f'{v:.2f}s' for v in worsts[0]]}")
+    print("no record ever left its rank - selection moved O(P log N) scalars")
 
 
 if __name__ == "__main__":

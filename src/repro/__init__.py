@@ -13,6 +13,8 @@ Public surface:
 * :mod:`repro.bench` — experiment harness regenerating every paper figure.
 * :mod:`repro.tune` — cost-model-driven auto-tuning and the plan cache
   behind :func:`repro.autosort`.
+* :mod:`repro.serve` — sort-as-a-service: concurrent jobs, shared-epoch
+  batching, and the persistent query tier.
 """
 
 from __future__ import annotations
@@ -26,12 +28,14 @@ __all__ = ["machine", "mpi", "__version__"]
 
 _LAZY_SUBMODULES = {
     "core", "seq", "baselines", "smp", "data", "model", "trace", "bench",
-    "tune", "sanitize", "metrics", "perf",
+    "tune", "sanitize", "metrics", "perf", "serve",
 }
 _LAZY_API = {
     "sort",
     "sorted_result",
     "nth_element",
+    "percentile",
+    "top_k",
     "find_splitters",
     "autosort",
     "AutoSortResult",

@@ -1,6 +1,15 @@
 """The paper's contribution: distributed histogram sort and its pieces."""
 
-from .api import AutoSortResult, autosort, find_splitters, nth_element, sort, sorted_result
+from .api import (
+    AutoSortResult,
+    autosort,
+    find_splitters,
+    nth_element,
+    percentile,
+    sort,
+    sorted_result,
+    top_k,
+)
 from .config import SortConfig, SplitterConfig
 from .dselect import DSelectResult, dselect
 from .exchange import ExchangePlan, build_exchange_plan, exchange
@@ -35,8 +44,10 @@ __all__ = [
     "merge_cost",
     "nth_element",
     "pack_keys",
+    "percentile",
     "plan_packing",
     "sort",
     "sorted_result",
+    "top_k",
     "unpack_keys",
 ]

@@ -1,12 +1,14 @@
-"""Public API: ``sort``, ``nth_element``, ``find_splitters``.
+"""Public API: ``sort``, ``nth_element``, ``percentile``, ``top_k``.
 
 These mirror the paper's STL-like interface (``std::sort`` compatible entry
-point, ``dash::nth_element``).  All are collective: every rank of the
+point, ``dash::nth_element``) plus the telemetry-query conveniences built
+on distributed selection.  All are collective: every rank of the
 communicator must call with its local partition.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Sequence
 
@@ -25,7 +27,16 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..tune.fingerprint import WorkloadFingerprint
     from ..tune.planner import SortPlan
 
-__all__ = ["AutoSortResult", "autosort", "sort", "sorted_result", "nth_element", "find_splitters"]
+__all__ = [
+    "AutoSortResult",
+    "autosort",
+    "sort",
+    "sorted_result",
+    "nth_element",
+    "percentile",
+    "top_k",
+    "find_splitters",
+]
 
 
 def sort(
@@ -173,6 +184,68 @@ def nth_element(comm: "Comm", local: np.ndarray, n: int):
     Uses distributed selection (Algorithm 1); no data moves.
     """
     return dselect(comm, local, n).value
+
+
+def percentile(
+    comm: "Comm", local: np.ndarray, pcts: float | Sequence[float]
+) -> Any:
+    """Nearest-rank percentile(s) of the distributed set; no data moves.
+
+    ``pcts`` may be one percentile or a sequence, each in ``[0, 100]``;
+    a sequence returns ``{pct: value}``.  The nearest-rank definition
+    maps ``pct`` to global position ``ceil(pct/100 * n) - 1`` clamped
+    into ``[0, n-1]``, so ``pct=100`` yields the maximum (never an
+    out-of-range position) and ``pct=0`` the minimum.  Each percentile
+    costs one :func:`nth_element` — O(log n) ALLREDUCE rounds, zero
+    record movement.
+    """
+    scalar = np.isscalar(pcts)
+    wanted = (float(pcts),) if scalar else tuple(float(p) for p in pcts)
+    for pct in wanted:
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile {pct} outside [0, 100]")
+    local = np.asarray(local)
+    total = int(comm.allreduce(int(local.size)))
+    if total < 1:
+        raise ValueError("percentile of an empty distributed set")
+    out = {}
+    for pct in wanted:
+        k = min(max(math.ceil(pct / 100.0 * total) - 1, 0), total - 1)
+        out[pct] = dselect(comm, local, k).value
+    return out[wanted[0]] if scalar else out
+
+
+def top_k(comm: "Comm", local: np.ndarray, k: int) -> np.ndarray:
+    """The ``k`` globally largest keys, descending; every rank gets all.
+
+    Built on distributed selection: one :func:`nth_element` finds the
+    cutoff value, after which only the (at most ``k``) qualifying keys
+    travel through an ALLGATHER — never the partitions themselves.
+    Duplicate cutoff keys are counted exactly, so the result always has
+    ``min(k, n)`` entries.
+    """
+    if k < 1:
+        raise ValueError("top_k needs k >= 1")
+    local = np.asarray(local)
+    total = int(comm.allreduce(int(local.size)))
+    take = min(k, total)
+    if take == 0:
+        return local[:0]
+    if take == total:
+        chunks = comm.allgather(np.sort(local))
+        merged = np.sort(np.concatenate(chunks))
+        return merged[::-1].copy()
+    cutoff = dselect(comm, local, total - take).value
+    above = np.sort(local[local > cutoff])
+    n_above = int(comm.allreduce(int(above.size)))
+    chunks = comm.allgather(above)
+    merged = np.sort(np.concatenate(chunks))[::-1]
+    # exact duplicate handling: pad with copies of the cutoff key
+    ties = take - n_above
+    if ties > 0:
+        pad = np.full(ties, cutoff, dtype=local.dtype)
+        merged = np.concatenate([merged, pad])
+    return merged.copy()
 
 
 def find_splitters(

@@ -35,7 +35,7 @@ from pathlib import Path
 from typing import Any, Callable, Mapping
 
 from .. import __version__
-from ..bench.harness import peak_rss_bytes, repeat_sort_trials
+from ..bench.harness import median_ci, peak_rss_bytes, repeat_sort_trials
 from ..core import SortConfig
 from ..machine import MachineSpec, abstract_cluster, laptop, supermuc_phase2
 from ..metrics import MetricsRegistry
@@ -123,6 +123,7 @@ SUITES: dict[str, tuple[CellSpec, ...]] = {
         CellSpec("hss", "uniform_u64", "abstract2", p=8, n_per_rank=4096, ranks_per_node=4),
         CellSpec("sample_sort", "uniform_u64", "abstract2", p=8, n_per_rank=4096, ranks_per_node=4),
         CellSpec("psrs", "uniform_u64", "abstract2", p=8, n_per_rank=4096, ranks_per_node=4),
+        CellSpec("serve", "mixed", "laptop8", p=4, n_per_rank=192),
     ),
     "quick": (
         CellSpec("dash", "uniform_u64", "abstract2", p=4, n_per_rank=1024, ranks_per_node=2),
@@ -189,6 +190,83 @@ def _model_error(modelled: dict[str, Any] | None, phases: dict[str, float],
     }
 
 
+def _run_serve_cell(
+    spec: CellSpec, *, repeats: int, warmup: int, seed0: int
+) -> dict[str, Any]:
+    """Service-throughput cell: replay the standard mixed workload.
+
+    One trial = a fresh :class:`repro.serve.SortService` replaying
+    :func:`repro.serve.make_workload` (sorts, percentiles, top-k, range
+    queries; fused epochs; warm-plan repeats).  The gated statistic is
+    **virtual seconds per completed job** — the inverse of the service's
+    jobs/virtual-second throughput — so the gate's lower-is-better
+    comparison applies unchanged.  There is no closed-form model for a
+    whole service replay, so ``modelled`` is absent.
+    """
+    import time
+
+    from ..serve import SortService, make_workload
+
+    values: list[float] = []
+    throughputs: list[float] = []
+    walls: list[float] = []
+    last_stats: dict[str, Any] = {}
+    for i in range(warmup + repeats):
+        t0 = time.perf_counter()
+        service = SortService(
+            spec.p, machine=spec.machine(), ranks_per_node=spec.ranks_per_node
+        )
+        service.replay(make_workload(spec.p, seed=seed0 + i, n_small=spec.n_per_rank))
+        wall = time.perf_counter() - t0
+        if i < warmup:
+            continue
+        st = service.stats()
+        done = st["jobs"].get("DONE", 0)
+        if done == 0 or st["jobs_per_vsecond"] <= 0:
+            raise RuntimeError(f"serve cell replay completed no jobs: {st['jobs']}")
+        values.append(service.clock / done)
+        throughputs.append(st["jobs_per_vsecond"])
+        walls.append(wall)
+        last_stats = st
+    stats = median_ci(values)
+    return {
+        "id": spec.cell_id,
+        "algo": spec.algo,
+        "dist": spec.dist,
+        "preset": spec.preset,
+        "machine": spec.machine().name,
+        "p": spec.p,
+        "n_per_rank": spec.n_per_rank,
+        "ranks_per_node": spec.ranks_per_node,
+        "overlap": spec.overlap,
+        "repeats": repeats,
+        "warmup": warmup,
+        "seed0": seed0,
+        "measured": {
+            "median_s": stats.median,
+            "ci_low_s": stats.ci_low,
+            "ci_high_s": stats.ci_high,
+            "n": stats.n,
+            "values_s": list(stats.values),
+        },
+        "phases_s": {},
+        "rounds": 0,
+        "modelled": None,
+        "model_error": None,
+        "service": {
+            "jobs_per_vsecond": sorted(throughputs)[len(throughputs) // 2],
+            "jobs_done_per_run": last_stats.get("jobs", {}).get("DONE", 0),
+            "epochs_per_run": last_stats.get("epochs", 0),
+            "warm_plan_hits_per_run": last_stats.get("warm_plan_hits", 0.0),
+        },
+        "traffic": {},
+        "sim": {
+            "wall_s_per_run": sum(walls) / len(walls),
+            "peak_rss_bytes": peak_rss_bytes(),
+        },
+    }
+
+
 def run_cell(
     spec: CellSpec,
     *,
@@ -197,6 +275,8 @@ def run_cell(
     seed0: int = 100,
 ) -> dict[str, Any]:
     """Execute one grid cell and build its snapshot record."""
+    if spec.algo == "serve":
+        return _run_serve_cell(spec, repeats=repeats, warmup=warmup, seed0=seed0)
     registry = MetricsRegistry()
     labels = {"algo": spec.algo, "dist": spec.dist, "machine": spec.preset}
     stats, trials = repeat_sort_trials(

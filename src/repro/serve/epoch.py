@@ -1,0 +1,90 @@
+"""SPMD programs of one service epoch (the rank-side of the scheduler).
+
+A *sort epoch* runs one distributed sort for a batch of 1..b jobs:
+
+* **tuned path** (the steady state): the packed/solo input goes through
+  :func:`repro.autosort`, so the service inherits the whole warm-plan
+  tier — a repeat fingerprint hits the plan cache and performs **zero**
+  planning dry runs (the counter the acceptance test watches).
+* **resilient path** (epochs a chaos schedule marks): the paper-default
+  plan under ``SortConfig(resilient=True, checkpoint=True)`` — mid-epoch
+  rank crashes are absorbed by buddy checkpoints + warm spares and the
+  epoch still returns every job's data with ``p`` unchanged.
+
+On the tuned path each rank returns ``(logical_rank, per_job_runs,
+meta)`` with the demultiplex charged to its virtual clock.  The resilient
+path returns the raw :class:`~repro.core.resilient.ResilientSortResult`
+instead: a promoted spare resumes *inside* the recovery loop and unwinds
+straight out of ``rt.run`` with that result — code after the sort call
+never executes on its thread — so the service demultiplexes host-side,
+ordering partitions by each result's final communicator rank (the
+logical slot), never by thread index.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..core.api import autosort
+from ..core.config import SortConfig
+from ..core.histsort import histogram_sort
+from .batch import Batch, demux_output, pack_batch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..mpi import Comm
+    from ..tune.cache import PlanCache
+
+__all__ = ["sort_epoch_program"]
+
+
+def _demux(
+    comm: "Comm", output: np.ndarray, batch: Batch, dtype: np.dtype
+) -> list[np.ndarray]:
+    """Per-job runs of this rank's sorted output (+ the demux charge)."""
+    if not batch.fused:
+        return [np.asarray(output)]
+    comm.compute(comm.cost.compute.partition(int(np.asarray(output).size)))
+    return demux_output(output, len(batch.jobs), batch.key_bits, dtype)
+
+
+def sort_epoch_program(
+    comm: "Comm",
+    batch: Batch,
+    cache: "PlanCache | None",
+    resilient: bool,
+    seed: int,
+) -> Any:
+    """Run one sort epoch; collective over ``comm``.
+
+    Tuned path: ``(logical_rank, per_job_sorted_runs, meta)`` with the
+    tuning decision in ``meta``.  Resilient path: the
+    :class:`~repro.core.resilient.ResilientSortResult` itself (see the
+    module docstring for why).
+    """
+    dtype = batch.data[0][comm.rank].dtype
+    if batch.fused:
+        with comm.tracer.span("serve.pack", jobs=len(batch.jobs)):
+            work, dtype = pack_batch(batch, comm.rank, batch.key_bits)
+            comm.compute(comm.cost.compute.partition(int(work.size)))
+    else:
+        work = np.asarray(batch.data[0][comm.rank])
+
+    if resilient:
+        cfg = SortConfig(resilient=True, checkpoint=True)
+        # Returned as-is: promoted spares unwind out of rt.run with this
+        # same result type, so the service treats every rank uniformly.
+        return histogram_sort(comm, work, config=cfg)
+
+    auto = autosort(comm, work, cache=cache, seed=seed)
+    runs = _demux(comm, auto.output, batch, dtype)
+    meta = {
+        "resilient": False,
+        "plan_id": auto.plan.plan_id,
+        "plan_label": auto.plan.label,
+        "plan_algo": auto.plan.algo,
+        "cache_hit": bool(auto.cache_hit),
+        "fingerprint": auto.fingerprint.bucket_key(),
+    }
+    return comm.rank, runs, meta

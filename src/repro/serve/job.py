@@ -1,0 +1,257 @@
+"""The service job model: specs, lifecycle states, results, rejections.
+
+A *job* is one tenant request against the sort service.  Four kinds exist
+(:data:`JOB_KINDS`):
+
+``sort``
+    Materialize a distributed dataset (a named generator spec — the
+    scripted service is driven by reproducible workloads, so data is
+    described, not shipped), sort it, and register the sorted partitions
+    plus their :class:`~repro.serve.index.SortedIndex` under
+    ``(tenant, dataset)``.
+``percentile`` / ``top_k`` / ``range_query``
+    Queries against a previously sorted dataset, answered from the index
+    with **zero data movement** (no ALLTOALLV; see
+    :mod:`repro.serve.index`).
+
+Lifecycle
+---------
+::
+
+    submit ──► PENDING ──► READY ──► RUNNING ──► DONE
+        │          │                    │
+        ├─► REJECTED (typed, at admission)
+        │          └────────────────► FAILED (typed, at scheduling/run)
+
+``PENDING`` jobs have been admitted but their virtual arrival time has
+not been reached (or a query's dataset does not exist yet); ``READY``
+jobs are eligible for the next epoch.  Rejections happen synchronously
+at :meth:`~repro.serve.service.SortService.submit` and carry a typed
+:class:`AdmissionError` subclass; ``FAILED`` marks jobs whose dataset
+dependency can never be satisfied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Mapping
+
+__all__ = [
+    "JOB_KINDS",
+    "JOB_STATES",
+    "AdmissionError",
+    "Job",
+    "JobResult",
+    "JobSpec",
+    "MalformedJobError",
+    "QueueFullError",
+    "QuotaExceededError",
+    "UnknownDatasetError",
+]
+
+#: the four job kinds the service accepts
+JOB_KINDS = ("sort", "percentile", "top_k", "range_query")
+
+#: lifecycle states (see the module docstring for the transition diagram)
+JOB_STATES = ("PENDING", "READY", "RUNNING", "DONE", "REJECTED", "FAILED")
+
+#: kinds that only read an existing sorted dataset
+QUERY_KINDS = ("percentile", "top_k", "range_query")
+
+
+class AdmissionError(ValueError):
+    """Base of every typed rejection; ``reason`` keys the rejection metric."""
+
+    reason = "rejected"
+
+
+class QueueFullError(AdmissionError):
+    """The service queue is at ``max_queue_depth``."""
+
+    reason = "queue_full"
+
+
+class QuotaExceededError(AdmissionError):
+    """The tenant already has ``max_per_tenant`` live jobs."""
+
+    reason = "tenant_quota"
+
+
+class MalformedJobError(AdmissionError):
+    """The spec is structurally invalid (bad kind, missing parameters)."""
+
+    reason = "malformed"
+
+
+class UnknownDatasetError(AdmissionError):
+    """A query names a dataset no sort job has created or will create."""
+
+    reason = "unknown_dataset"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One immutable job request.
+
+    ``arrival`` is the job's submission instant in **virtual seconds** on
+    the service clock — the scripted replay driver uses it to model load;
+    interactive submission passes the current clock.  Kind-specific
+    parameters live in the dedicated fields; unused ones stay at their
+    defaults and are validated away.
+    """
+
+    kind: str
+    tenant: str
+    dataset: str
+    arrival: float = 0.0
+    priority: int = 0
+    #: sort jobs: generator spec (see :data:`repro.data.DISTRIBUTIONS`)
+    dist: str = "uniform_u64"
+    n_per_rank: int = 0
+    seed: int = 1
+    #: percentile jobs: requested percentiles in (0, 100]
+    pcts: tuple[float, ...] = ()
+    #: top_k jobs: how many of the globally largest keys
+    k: int = 0
+    #: range_query jobs: half-open key interval [lo, hi)
+    lo: float = 0.0
+    hi: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise MalformedJobError(
+                f"unknown job kind {self.kind!r}; expected one of {JOB_KINDS}"
+            )
+        if not self.tenant or not self.dataset:
+            raise MalformedJobError("tenant and dataset must be non-empty")
+        if self.arrival < 0:
+            raise MalformedJobError("arrival must be >= 0 virtual seconds")
+        if self.kind == "sort":
+            if self.n_per_rank < 1:
+                raise MalformedJobError("sort jobs need n_per_rank >= 1")
+        elif self.kind == "percentile":
+            if not self.pcts:
+                raise MalformedJobError("percentile jobs need a non-empty pcts")
+            for p in self.pcts:
+                if not 0.0 <= p <= 100.0:
+                    raise MalformedJobError(f"percentile {p} outside [0, 100]")
+        elif self.kind == "top_k":
+            if self.k < 1:
+                raise MalformedJobError("top_k jobs need k >= 1")
+        elif self.kind == "range_query":
+            if not self.lo <= self.hi:
+                raise MalformedJobError("range_query needs lo <= hi")
+
+    @property
+    def is_query(self) -> bool:
+        return self.kind in QUERY_KINDS
+
+    def to_dict(self) -> dict[str, Any]:
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["pcts"] = list(self.pcts)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise MalformedJobError(f"unknown JobSpec field(s): {sorted(unknown)}")
+        kwargs = dict(data)
+        if "pcts" in kwargs:
+            kwargs["pcts"] = tuple(float(p) for p in kwargs["pcts"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """What a completed job hands back to its tenant.
+
+    ``value`` is kind-shaped: a sort summary (element count, key range,
+    checksum of the globally sorted sequence — partition layout is a
+    service detail), a ``{pct: value}`` mapping, a descending top-k list,
+    or a ``{count, first_rank}`` range summary.  All values are plain
+    JSON-able Python so results persist across service restarts.
+    """
+
+    job_id: int
+    kind: str
+    value: Any
+    #: completion − arrival, virtual seconds (what the latency SLO sees)
+    time_to_result: float
+    epoch: int
+    #: jobs fused into the same epoch, this one included (1 = solo)
+    batched_with: int = 1
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "value": self.value,
+            "time_to_result": self.time_to_result,
+            "epoch": self.epoch,
+            "batched_with": self.batched_with,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobResult":
+        return cls(
+            job_id=int(data["job_id"]),
+            kind=str(data["kind"]),
+            value=data["value"],
+            time_to_result=float(data["time_to_result"]),
+            epoch=int(data["epoch"]),
+            batched_with=int(data.get("batched_with", 1)),
+        )
+
+
+@dataclass
+class Job:
+    """One admitted job's mutable service record."""
+
+    job_id: int
+    spec: JobSpec
+    state: str = "PENDING"
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    done_at: float | None = None
+    epoch: int | None = None
+    result: JobResult | None = None
+    error: str | None = None
+    #: free-form service annotations (plan id, warm-hit flag, ...)
+    notes: dict[str, Any] = field(default_factory=dict)
+
+    def transition(self, state: str) -> None:
+        if state not in JOB_STATES:
+            raise ValueError(f"unknown job state {state!r}")
+        self.state = state
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "spec": self.spec.to_dict(),
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "done_at": self.done_at,
+            "epoch": self.epoch,
+            "result": self.result.to_dict() if self.result is not None else None,
+            "error": self.error,
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Job":
+        result = data.get("result")
+        return cls(
+            job_id=int(data["job_id"]),
+            spec=JobSpec.from_dict(data["spec"]),
+            state=str(data["state"]),
+            submitted_at=float(data["submitted_at"]),
+            started_at=data.get("started_at"),
+            done_at=data.get("done_at"),
+            epoch=data.get("epoch"),
+            result=JobResult.from_dict(result) if result is not None else None,
+            error=data.get("error"),
+            notes=dict(data.get("notes", {})),
+        )

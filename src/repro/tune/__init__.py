@@ -18,7 +18,7 @@ The one-call entry point is :func:`repro.core.api.autosort`; the CLI is
 ``python -m repro.tune`` (recommend / explain / cache ls / cache clear).
 """
 
-from .cache import CacheEntry, PlanCache, default_cache_path
+from .cache import CacheEntry, MemoryPlanCache, PlanCache, default_cache_path
 from .feedback import FeedbackRecord, record_feedback
 from .fingerprint import WorkloadFingerprint, fingerprint_collective, fingerprint_partition
 from .planner import (
@@ -34,6 +34,7 @@ __all__ = [
     "CacheEntry",
     "Candidate",
     "FeedbackRecord",
+    "MemoryPlanCache",
     "PlanCache",
     "SortPlan",
     "WorkloadFingerprint",

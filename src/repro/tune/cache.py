@@ -31,7 +31,7 @@ from typing import Any, Iterator
 from ..model.phases import MODEL_VERSION
 from .planner import PLANNER_VERSION, SortPlan
 
-__all__ = ["PlanCache", "default_cache_path"]
+__all__ = ["MemoryPlanCache", "PlanCache", "default_cache_path"]
 
 #: on-disk layout version; any change to the entry structure bumps it
 CACHE_SCHEMA = 1
@@ -183,3 +183,24 @@ class PlanCache:
 
     def __contains__(self, key: str) -> bool:
         return key in self._entries
+
+
+class MemoryPlanCache(PlanCache):
+    """A :class:`PlanCache` that never touches disk.
+
+    Same hit/miss/feedback semantics, but entries live only for the
+    process lifetime.  This is the default warm-plan tier of
+    :class:`repro.serve.SortService`: a service run is hermetic unless
+    it is explicitly handed a disk-backed cache to share plans across
+    restarts.
+    """
+
+    def __init__(self) -> None:
+        self.path = Path(os.devnull)
+        self._entries = {}
+
+    def _load(self) -> None:  # pragma: no cover - never called
+        pass
+
+    def save(self) -> None:
+        pass

@@ -92,6 +92,74 @@ class TestLoserTree:
         assert t.pop() == 5.0 and t.pop() == 5.0
 
 
+def _drain_per_element(runs):
+    tree = LoserTree(runs)
+    out = np.empty(len(tree), dtype=np.result_type(*runs))
+    for i in range(out.size):
+        out[i] = tree.pop()
+    return out
+
+
+class TestPopRun:
+    """The chunked drain must be byte-identical to element-wise pop."""
+
+    def test_chunks_cover_disjoint_runs_in_two_slices(self):
+        t = LoserTree([np.array([1, 2, 3]), np.array([10, 11])])
+        first = t.pop_run()
+        assert first.tolist() == [1, 2, 3]
+        assert t.pop_run().tolist() == [10, 11]
+        assert len(t) == 0
+
+    def test_ties_split_by_run_order(self):
+        # run 0 emits through the tie (lower index wins equal heads);
+        # run 1 then runs unchallenged until run 0's remaining 9
+        t = LoserTree([np.array([5, 5, 9]), np.array([5, 6])])
+        assert t.pop_run().tolist() == [5, 5]
+        assert t.pop_run().tolist() == [5, 6]
+        assert t.pop_run().tolist() == [9]
+
+    def test_exhausted_raises(self):
+        t = LoserTree([np.array([1])])
+        t.pop_run()
+        with pytest.raises(IndexError):
+            t.pop_run()
+
+    def test_interleaving_pop_and_pop_run(self):
+        runs = [np.array([1, 4, 7]), np.array([2, 5, 8]), np.array([3, 6, 9])]
+        t = LoserTree(runs)
+        seq = [t.pop(), *t.pop_run().tolist(), t.pop()]
+        while len(t):
+            seq.extend(t.pop_run().tolist())
+        assert seq == list(range(1, 10))
+
+    @given(runs=sorted_runs)
+    @settings(max_examples=100, deadline=None)
+    def test_byte_identical_to_pop(self, runs):
+        arrays = [np.array(r, dtype=np.int64) for r in runs if r]
+        if not arrays:
+            return
+        ref = _drain_per_element(arrays)
+        out = loser_tree_merge(arrays)
+        assert out.dtype == ref.dtype
+        assert out.tobytes() == ref.tobytes()
+
+    def test_byte_identical_on_floats_with_dupes(self, rng):
+        arrays = [
+            np.sort(rng.choice([0.5, 1.5, 1.5, 2.5, np.inf], size=40))
+            for _ in range(5)
+        ]
+        assert loser_tree_merge(arrays).tobytes() == _drain_per_element(arrays).tobytes()
+
+    def test_adaptive_fallback_crosses_probe_windows(self, rng):
+        # fine interleave large enough to trigger the element-mode backoff
+        arrays = [
+            np.sort(rng.integers(0, 2**60, size=3000).astype(np.uint64))
+            for _ in range(4)
+        ]
+        ref = np.sort(np.concatenate(arrays))
+        assert np.array_equal(loser_tree_merge(arrays), ref)
+
+
 class TestKwayMerge:
     @pytest.mark.parametrize("strategy", ["binary_tree", "tournament", "sort"])
     def test_empty_input(self, strategy):
