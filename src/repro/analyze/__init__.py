@@ -40,6 +40,9 @@ __all__ = [
     "RULES",
     "RuntimeChecker",
     "main",
+    "check_conformance",
+    "ConformanceReport",
+    "extract_function_cost",
 ]
 
 _EXPORTS = {
@@ -54,6 +57,9 @@ _EXPORTS = {
     "RULES": ("repro.analyze.rules", "RULES"),
     "RuntimeChecker": ("repro.analyze.runtime_check", "RuntimeChecker"),
     "main": ("repro.analyze.cli", "main"),
+    "check_conformance": ("repro.analyze.conformance", "check_conformance"),
+    "ConformanceReport": ("repro.analyze.conformance", "ConformanceReport"),
+    "extract_function_cost": ("repro.analyze.costlint", "extract_function_cost"),
 }
 
 

@@ -31,10 +31,15 @@ __all__ = [
     "COLLECTIVE_METHODS",
     "P2P_METHODS",
     "RULE_PARSE_ERROR",
+    "RULE_STALE_SUPPRESSION",
     "suppression_table",
+    "ignore_comment_lines",
 ]
 
 RULE_PARSE_ERROR = "SPMD-PARSE-ERROR"
+
+#: meta-finding: a suppression comment (``spmd: ignore``) silencing nothing
+RULE_STALE_SUPPRESSION = "SPMD-STALE-SUPPRESSION"
 
 #: collective methods of :class:`repro.mpi.Comm` (must be congruent)
 COLLECTIVE_METHODS = frozenset(
@@ -172,6 +177,28 @@ def suppression_table(
             None if rules is None else [r.strip() for r in rules.split(",")]
         )
     return table
+
+
+def ignore_comment_lines(source: str) -> list[int]:
+    """Lines whose ``# spmd: ignore`` marker sits in a *real* comment.
+
+    :func:`suppression_table` is deliberately textual (it must work from
+    the cached line table on warm runs), so it also matches the marker
+    inside string literals — e.g. this module's own docstring.  The
+    stale-suppression lint only wants genuine comments, so it tokenizes
+    once at record-build time and stores the verified line numbers.
+    """
+    import io
+    import tokenize
+
+    out: list[int] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT and _SUPPRESS_RE.search(tok.string):
+                out.append(tok.start[0])
+    except (tokenize.TokenError, IndentationError, SyntaxError, ValueError):
+        return []
+    return out
 
 
 def _suppresses(spec: list[str] | None | bool, rule: str) -> bool:

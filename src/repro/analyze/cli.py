@@ -71,9 +71,22 @@ def _changed_files(ref: str) -> set[Path] | None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "cost":
+        # model-conformance subcommand: static vs modelled vs measured
+        # per-phase traffic (see repro.analyze.conformance)
+        from .conformance import main_cost
+
+        return main_cost(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.analyze",
-        description="Static SPMD correctness lint for repro.mpi programs.",
+        description="Static SPMD correctness lint for repro.mpi programs. "
+        "Use the 'cost' subcommand (python -m repro.analyze cost --help) "
+        "to cross-check static, modelled, and measured phase traffic.",
+        epilog="Exit codes: 0 clean, 1 findings, 2 usage/internal error "
+        "(including unparsable inputs and a missing baseline in "
+        "--baseline check mode).",
     )
     parser.add_argument(
         "paths",
@@ -127,11 +140,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--baseline",
-        choices=("write", "check"),
+        choices=("write", "update", "check"),
         default=None,
-        help="'write': snapshot current findings into the baseline file "
-        "and exit 0; 'check': report and fail only on findings not in "
-        "the baseline",
+        help="'write' (alias 'update'): snapshot current findings into the "
+        "baseline file and exit 0; 'check': report and fail only on "
+        "findings not in the baseline",
     )
     parser.add_argument(
         "--baseline-file",
@@ -179,8 +192,13 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         findings = [f for f in findings if Path(f.path).resolve() in changed]
 
-    if args.baseline == "write":
-        n = write_baseline(findings, args.baseline_file)
+    if args.baseline in ("write", "update"):
+        # stale-suppression findings are never baselined: the fix is to
+        # delete the dead comment, not to accept it
+        from .astlint import RULE_STALE_SUPPRESSION
+
+        snapshot = [f for f in findings if f.rule != RULE_STALE_SUPPRESSION]
+        n = write_baseline(snapshot, args.baseline_file)
         print(
             f"repro.analyze: baseline written to {args.baseline_file} "
             f"({n} finding{'s' if n != 1 else ''})",

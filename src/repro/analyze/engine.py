@@ -29,12 +29,15 @@ from .astlint import (
     Finding,
     ModuleInfo,
     RULE_PARSE_ERROR,
+    RULE_STALE_SUPPRESSION,
     _derive_modname,
     _suppresses,
     collect_files,
+    ignore_comment_lines,
     module_from_source,
     suppression_table,
 )
+from .costlint import check_cost_program
 from .interproc import check_program, summarize_module
 from .store import AnalysisStore, FileRecord, content_hash
 
@@ -73,6 +76,7 @@ def build_record(source: str, path: str) -> FileRecord:
         tag_findings=tag_findings,
         literal_tags=literal_tags,
         suppression=suppression_table(mod.lines),
+        ignore_lines=ignore_comment_lines(source),
         summary=summarize_module(mod),
     )
 
@@ -128,12 +132,35 @@ def analyze_program(
         suppression[rec.path] = rec.suppression
     findings.extend(join_literal_tags(tag_sites))
     findings.extend(check_program(summaries))
+    findings.extend(check_cost_program(summaries))
 
-    kept = [
-        f
-        for f in findings
-        if not _suppresses(suppression.get(f.path, {}).get(f.line, False), f.rule)
-    ]
+    kept: list[Finding] = []
+    used: set[tuple[str, int]] = set()
+    for f in findings:
+        if _suppresses(suppression.get(f.path, {}).get(f.line, False), f.rule):
+            used.add((f.path, f.line))
+        else:
+            kept.append(f)
+    # stale-suppression lint: an ignore comment (verified to be a real
+    # comment, not docstring text) that silenced nothing this run.  Like
+    # parse errors these are never themselves suppressible — a stale
+    # marker must not be able to hide behind itself.
+    for rec in records:
+        for line in rec.ignore_lines:
+            spec = rec.suppression.get(line, False)
+            if spec is False or (rec.path, line) in used:
+                continue
+            listed = "" if spec is None else f"[{', '.join(spec)}]"
+            kept.append(
+                Finding(
+                    rec.path,
+                    line,
+                    RULE_STALE_SUPPRESSION,
+                    f"'# spmd: ignore{listed}' suppresses nothing — no rule "
+                    "fires on this line; remove the comment or fix its rule "
+                    "list",
+                )
+            )
     # parse errors are never suppressible — there is no trustworthy source
     # line to carry the ignore comment
     kept.extend(rec.parse_error for rec in records if rec.parse_error is not None)

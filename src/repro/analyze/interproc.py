@@ -189,6 +189,10 @@ class FunctionSummary:
     #: param name -> line of the p2p call whose tag it feeds
     tag_params: dict[str, int] = field(default_factory=dict)
     calls: list[CallSite] = field(default_factory=list)
+    #: symbolic communication-cost facts (:mod:`repro.analyze.costlint`):
+    #: payload sites, p2p loops, call placeholders, and the return size —
+    #: ``None`` when the function has nothing cost-relevant
+    cost: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -206,6 +210,7 @@ class FunctionSummary:
             "returns_sized_line": self.returns_sized_line,
             "tag_params": dict(self.tag_params),
             "calls": [c.to_dict() for c in self.calls],
+            "cost": self.cost,
         }
 
     @classmethod
@@ -225,6 +230,7 @@ class FunctionSummary:
             returns_sized_line=d.get("returns_sized_line"),
             tag_params={k: int(v) for k, v in d.get("tag_params", {}).items()},
             calls=[CallSite.from_dict(c) for c in d.get("calls", [])],
+            cost=d.get("cost"),
         )
 
 
@@ -402,7 +408,25 @@ class _Summarizer:
         self._returns(summary, returns, returned_names)
         self._tag_params(summary)
         self._call_sites(summary, waited, returned_names)
+        self._cost(summary)
         return summary
+
+    def _cost(self, summary: FunctionSummary) -> None:
+        from .costlint import extract_function_cost
+
+        try:
+            summary.cost = extract_function_cost(
+                self.fn,
+                self.ctx,
+                list(self.info.params),
+                self._spec_for,
+                entry=self.info.is_entry,
+            )
+        except Exception:  # noqa: BLE001
+            # the size inference runs over arbitrary third-party-looking
+            # code (tests, benchmarks); a crash must degrade to "no cost
+            # facts", never abort the whole analysis
+            summary.cost = None
 
     # -- local facts
 

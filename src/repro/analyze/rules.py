@@ -47,6 +47,12 @@ from .dataflow import (
     check_function as _dataflow_rules,
 )
 
+from .costlint import (
+    RULE_HANDROLLED,
+    RULE_OVERSIZED_REDUCE,
+    RULE_P2_TRAFFIC,
+    RULE_ROOT_BOTTLENECK,
+)
 from .interproc import (
     RULE_ESCAPED_REQUEST,
     RULE_INTERPROC_DIV,
@@ -75,23 +81,160 @@ class Rule:
     id: str
     summary: str
     #: "intra" = one function, "cross" = whole fileset but syntactic,
-    #: "inter" = interprocedural dataflow over the call graph
+    #: "inter" = interprocedural dataflow over the call graph,
+    #: "cost" = symbolic payload-size scalability rules (costlint)
     layer: str = "intra"
+    #: markdown long description (SARIF ``fullDescription``); the per-rule
+    #: heading in DESIGN.md doubles as the ``helpUri`` anchor
+    doc: str = ""
 
 
 RULES: tuple[Rule, ...] = (
-    Rule(RULE_DIV_COLLECTIVE, "collective reachable only under rank-dependent control flow"),
-    Rule(RULE_UNWAITED, "isend/irecv Request discarded or never waited"),
-    Rule(RULE_BLOCKING_CYCLE, "symmetric blocking send/send or recv/recv across a rank branch"),
-    Rule(RULE_TAG_COLLISION, "literal tag collides across modules or invades a foreign namespace", "cross"),
-    Rule(RULE_WALLCLOCK, "wall-clock / nondeterministic source inside a rank function"),
-    Rule(RULE_BUFFER_REUSE, "buffer written between isend() and its request's wait()"),
-    Rule(RULE_VIEW_SEND, "payload of a send is a numpy view expression without .copy()"),
-    Rule(RULE_SHAPE_MISMATCH, "uniform-shape collective fed a rank-dependent-length payload"),
-    Rule(RULE_ESCAPED_REQUEST, "request escapes a callee's return value and is never waited", "inter"),
-    Rule(RULE_INTERPROC_TAG, "tag constant funnels into the same helper tag parameter from multiple modules", "inter"),
-    Rule(RULE_INTERPROC_DIV, "rank-divergent call leads transitively to a collective inside a callee", "inter"),
-    Rule(RULE_RANK_TAINT_SHAPE, "helper's rank-dependent return feeds a uniform-shape collective payload", "inter"),
+    Rule(
+        RULE_DIV_COLLECTIVE,
+        "collective reachable only under rank-dependent control flow",
+        doc="A collective (`barrier`, `allreduce`, ...) is reached only on "
+        "paths guarded by `comm.rank`, so not every rank of the communicator "
+        "issues it. Real MPI hangs; the in-process runtime raises a "
+        "congruence error. Hoist the collective out of the rank branch, or "
+        "make every rank participate (e.g. contribute a neutral element).",
+    ),
+    Rule(
+        RULE_UNWAITED,
+        "isend/irecv Request discarded or never waited",
+        doc="The `Request` returned by `isend()`/`irecv()` is dropped or "
+        "never completed in this function, so the operation may never "
+        "finish and its buffer lifetime is undefined. Call `.wait()` (or "
+        "collect requests and wait on all of them) before returning.",
+    ),
+    Rule(
+        RULE_BLOCKING_CYCLE,
+        "symmetric blocking send/send or recv/recv across a rank branch",
+        doc="Both arms of a rank-conditional open with the same blocking "
+        "verb. `recv`/`recv` deadlocks immediately; `send`/`send` deadlocks "
+        "under rendezvous MPI semantics even though the eager in-process "
+        "runtime happens to survive it. Use `sendrecv()` or order the pair "
+        "by rank parity.",
+    ),
+    Rule(
+        RULE_TAG_COLLISION,
+        "literal tag collides across modules or invades a foreign namespace",
+        "cross",
+        doc="A literal message tag is also used by another module, or falls "
+        "inside a tag namespace registered to a different subsystem in "
+        "`repro.mpi.tags`. Colliding tags cross-match messages between "
+        "unrelated protocols. Allocate a namespace in `repro.mpi.tags` "
+        "instead of picking numbers.",
+    ),
+    Rule(
+        RULE_WALLCLOCK,
+        "wall-clock / nondeterministic source inside a rank function",
+        doc="A rank function reads wall-clock time (`time.time()`, "
+        "`datetime.now()`, ...) or draws from an unseeded random source. "
+        "Virtual-clock runs must be bit-reproducible: derive time from "
+        "`comm.clock` and randomness from a `Generator` seeded per rank.",
+    ),
+    Rule(
+        RULE_BUFFER_REUSE,
+        "buffer written between isend() and its request's wait()",
+        doc="The payload buffer of an in-flight `isend()` is mutated before "
+        "the matching `wait()`. MPI owns the buffer until completion; the "
+        "receiver may observe either version. Complete the request first, "
+        "or send a copy.",
+    ),
+    Rule(
+        RULE_VIEW_SEND,
+        "payload of a send is a numpy view expression without .copy()",
+        doc="The sent payload is a slice or other numpy view. If the base "
+        "array is written while the message is in flight the receiver sees "
+        "the mutation (in-process) or torn data (real MPI with a "
+        "non-contiguous view). Append `.copy()` to the payload expression.",
+    ),
+    Rule(
+        RULE_SHAPE_MISMATCH,
+        "uniform-shape collective fed a rank-dependent-length payload",
+        doc="A collective that assumes congruent payload shapes on every "
+        "rank (`allreduce`, `alltoall`, `scatter`, ...) receives a buffer "
+        "whose length depends on `comm.rank`. Pad to a common shape, or "
+        "switch to the variable-length variant (`alltoallv`).",
+    ),
+    Rule(
+        RULE_ESCAPED_REQUEST,
+        "request escapes a callee's return value and is never waited",
+        "inter",
+        doc="A helper returns the `Request` of an `isend()`/`irecv()` and "
+        "the caller drops it, so no frame ever completes the operation. "
+        "Interprocedural variant of SPMD-UNWAITED-REQUEST: wait on the "
+        "returned request at the call site.",
+    ),
+    Rule(
+        RULE_INTERPROC_TAG,
+        "tag constant funnels into the same helper tag parameter from multiple modules",
+        "inter",
+        doc="Two modules pass their own tag constants into the same helper "
+        "parameter, so the helper's sends and receives can cross-match "
+        "between the two protocols. Give each caller a distinct namespace "
+        "in `repro.mpi.tags`, or thread the namespace through the helper.",
+    ),
+    Rule(
+        RULE_INTERPROC_DIV,
+        "rank-divergent call leads transitively to a collective inside a callee",
+        "inter",
+        doc="A call issued under rank-dependent control flow reaches a "
+        "collective inside the callee (possibly through further calls), so "
+        "only some ranks enter it. Interprocedural variant of "
+        "SPMD-DIV-COLLECTIVE; the finding's related location points at the "
+        "collective inside the callee.",
+    ),
+    Rule(
+        RULE_RANK_TAINT_SHAPE,
+        "helper's rank-dependent return feeds a uniform-shape collective payload",
+        "inter",
+        doc="A helper whose return value's shape depends on `comm.rank` "
+        "(e.g. `rank`-sized slices) flows into a uniform-shape collective in "
+        "the caller. Interprocedural variant of SPMD-SHAPE-MISMATCH.",
+    ),
+    Rule(
+        RULE_ROOT_BOTTLENECK,
+        "gather/reduce of an Ω(n/p) payload materializes Θ(n) at the root",
+        "cost",
+        doc="A `gather`/`reduce` payload grows like the per-rank data size "
+        "(`n/p` or worse), so the root materializes Θ(n) bytes — the exact "
+        "centralization the histogram sort exists to avoid. Reduce to O(p) "
+        "summaries first (counts, splitters), or keep data distributed. The "
+        "finding carries the inferred symbolic payload and, for "
+        "interprocedural sizes, a `via` witness chain.",
+    ),
+    Rule(
+        RULE_P2_TRAFFIC,
+        "allgather/alltoall payload grows with p or n — Ω(p²) wire bytes",
+        "cost",
+        doc="An `allgather`/`alltoall` whose per-rank payload itself grows "
+        "with `p` (or `n`) puts Ω(p²) total bytes on the wire: every rank "
+        "contributes a p-sized row and every rank receives all of them. "
+        "Gather O(1) summaries, or restructure around `alltoallv` with "
+        "O(n) total volume.",
+    ),
+    Rule(
+        RULE_HANDROLLED,
+        "for-peer-in-range(p) send loop re-implements a collective with O(p) rounds",
+        "cost",
+        doc="A `for peer in range(p)`-style loop of point-to-point sends "
+        "re-implements a collective in O(p) latency rounds where the "
+        "library primitive needs O(log p). Replace the loop with "
+        "`bcast`/`gather`/`alltoallv`; suppress with "
+        "`# spmd: ignore[HANDROLLED-COLLECTIVE]` only for deliberate "
+        "ring/pipeline schedules.",
+    ),
+    Rule(
+        RULE_OVERSIZED_REDUCE,
+        "allreduce/scan payload grows with n instead of O(p) counts",
+        "cost",
+        doc="An `allreduce`/`scan` payload scales with the data size `n` "
+        "rather than the O(p) (or O(p log n)) summaries the algorithms "
+        "need. Every rank pays the full vector in bandwidth, per round. "
+        "Reduce histograms or counts, not data.",
+    ),
 )
 
 

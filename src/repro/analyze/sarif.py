@@ -26,6 +26,15 @@ _VERSION = "2.1.0"
 _ERROR_RULES = frozenset({"SPMD-PARSE-ERROR"})
 
 
+#: DESIGN.md carries one heading per rule; GitHub renders `#spmd-...`
+#: anchors for them, so the helpUri of every rule resolves to its entry.
+_HELP_DOC = "DESIGN.md"
+
+
+def _help_uri(rule_id: str) -> str:
+    return f"{_HELP_DOC}#{rule_id.lower()}"
+
+
 def _rule_catalogue() -> list[dict]:
     from .rules import RULES
 
@@ -33,16 +42,47 @@ def _rule_catalogue() -> list[dict]:
         {
             "id": rule.id,
             "shortDescription": {"text": rule.summary},
+            **(
+                {"fullDescription": {"text": rule.doc, "markdown": rule.doc}}
+                if rule.doc
+                else {}
+            ),
+            "helpUri": _help_uri(rule.id),
             "defaultConfiguration": {"level": "warning"},
             "properties": {"layer": rule.layer},
         }
         for rule in RULES
     ]
+    parse_doc = (
+        "The analyzer could not parse an input file, so none of its rules "
+        "ran there. A syntax error anywhere in the linted tree fails the "
+        "run with exit code 2 — a parse error must not read as a clean pass."
+    )
+    stale_doc = (
+        "A `# spmd: ignore[RULE]` suppression comment no longer matches any "
+        "finding on its line. Stale suppressions hide future regressions of "
+        "the suppressed rule; delete the comment (it is never baselined — "
+        "`--baseline write` excludes this rule)."
+    )
     rules.append(
         {
             "id": "SPMD-PARSE-ERROR",
             "shortDescription": {"text": "input could not be parsed"},
+            "fullDescription": {"text": parse_doc, "markdown": parse_doc},
+            "helpUri": _help_uri("SPMD-PARSE-ERROR"),
             "defaultConfiguration": {"level": "error"},
+        }
+    )
+    rules.append(
+        {
+            "id": "SPMD-STALE-SUPPRESSION",
+            "shortDescription": {
+                "text": "spmd: ignore comment no longer suppresses anything"
+            },
+            "fullDescription": {"text": stale_doc, "markdown": stale_doc},
+            "helpUri": _help_uri("SPMD-STALE-SUPPRESSION"),
+            "defaultConfiguration": {"level": "warning"},
+            "properties": {"layer": "meta"},
         }
     )
     return rules

@@ -49,7 +49,7 @@ __all__ = [
 
 #: bump on any change to rule logic, summary extraction, or record layout —
 #: cached records embed findings and summaries produced by this code
-ANALYZER_VERSION = 1
+ANALYZER_VERSION = 2
 
 #: on-disk layout version of the store document itself
 STORE_SCHEMA = 1
@@ -102,8 +102,12 @@ class FileRecord:
     tag_findings: list[Finding] = field(default_factory=list)
     #: free-literal tag sites feeding the cross-module join: [(value, line)]
     literal_tags: list[tuple[int, int]] = field(default_factory=list)
-    #: ``# spmd: ignore`` table: line -> None (all rules) | [rule ids]
+    #: suppression (``spmd: ignore``) table: line -> None (all) | [rule ids]
     suppression: dict[int, list[str] | None] = field(default_factory=dict)
+    #: suppression-table lines verified (by tokenizing) to be real comments
+    #: rather than marker text inside string literals — the only lines the
+    #: stale-suppression lint may flag
+    ignore_lines: list[int] = field(default_factory=list)
     #: interprocedural summary (None for files that failed to parse)
     summary: ModuleSummary | None = None
     #: parse failure, if any (the record is still cached by content hash)
@@ -117,6 +121,7 @@ class FileRecord:
             "tag_findings": [f.to_dict() for f in self.tag_findings],
             "literal_tags": [list(t) for t in self.literal_tags],
             "suppression": {str(k): v for k, v in self.suppression.items()},
+            "ignore_lines": list(self.ignore_lines),
             "summary": self.summary.to_dict() if self.summary is not None else None,
             "parse_error": (
                 self.parse_error.to_dict() if self.parse_error is not None else None
@@ -135,6 +140,7 @@ class FileRecord:
                 int(k): (None if v is None else [str(r) for r in v])
                 for k, v in d.get("suppression", {}).items()
             },
+            ignore_lines=[int(i) for i in d.get("ignore_lines", [])],
             summary=(
                 ModuleSummary.from_dict(d["summary"])
                 if d.get("summary") is not None

@@ -92,7 +92,10 @@ def exchange_merge_overlap(
     merge_hidden = 0.0
     debt = 0.0  # merge work not yet paid for nor hidden
     tracer = comm.tracer
-    for r in range(nrounds):
+    # Deliberate O(p)-round pairwise schedule (paper §VI-E.1): the whole
+    # point of this module is pipelining merges behind per-round
+    # transfers, which a single alltoallv cannot express.
+    for r in range(nrounds):  # spmd: ignore[HANDROLLED-COLLECTIVE]
         partner = one_factor_partner(comm.rank, p, r)
         if partner == comm.rank:
             continue  # idle round (odd p)

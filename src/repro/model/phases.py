@@ -26,7 +26,16 @@ from ..machine.spec import Level, MachineSpec
 from ..machine.topology import make_placement
 from ..core.merge import merge_cost
 
-__all__ = ["MODEL_VERSION", "PhasePrediction", "predict_histsort", "predict_hss", "predict_samplesort"]
+__all__ = [
+    "MODEL_VERSION",
+    "PhasePrediction",
+    "predict_histsort",
+    "predict_hss",
+    "predict_samplesort",
+    "traffic_histsort",
+    "traffic_samplesort",
+    "traffic_psrs",
+]
 
 #: bumped whenever a closed-form formula changes; cached tuning plans carry
 #: the version they were scored under and are invalidated on mismatch
@@ -138,6 +147,78 @@ def predict_histsort(
         merge=merge,
         other=other,
     )
+
+
+# ------------------------------------------------------- wire-byte models
+#
+# Per-phase *wire bytes*, not seconds: the modelled column of the
+# ``repro.analyze cost`` conformance check.  The formulas follow the
+# runtime's recording conventions (``Stats.record_collective`` and the
+# per-rank trace spans): symmetric collectives count every rank's payload,
+# ALLTOALLV counts the total exchanged volume including self-chunks, and
+# BCAST counts the root payload once.
+
+
+def traffic_histsort(
+    n_total: int, p: int, *, rounds: int, itemsize: int = 8
+) -> dict[str, float]:
+    """Modelled per-phase wire bytes of the histogram sort.
+
+    ``splitting`` carries the fixed-size setup collectives (the size
+    allgather, the (min, max) reduction, and the extreme-key bounds) plus
+    ``rounds`` histogram ALLREDUCEs of ``2(p-1)`` int64 counts — an upper
+    bound, since boundaries retire as they converge.  ``other`` is the
+    exchange preparation (rank-order-fill EXCLUSIVE_SCAN + send-count
+    ALL-TO-ALL); ``exchange`` the full data volume.
+    """
+    if p < 1 or n_total < 0:
+        raise ValueError("need p >= 1 and n_total >= 0")
+    b = max(p - 1, 0)
+    return {
+        "local_sort": 0.0,
+        "splitting": p * (8.0 + 24.0 + 16.0) + rounds * p * 16.0 * b,
+        "other": p * 8.0 * b + p * (8.0 * p + 8.0),
+        "exchange": float(n_total) * itemsize,
+        "merge": 0.0,
+    }
+
+
+def traffic_samplesort(
+    n_total: int, p: int, *, oversample: int = 32, itemsize: int = 8
+) -> dict[str, float]:
+    """Modelled per-phase wire bytes of random sample sort.
+
+    ``sampling`` gathers ``min(oversample, n/p)`` keys per rank to the
+    root; ``splitting`` broadcasts the ``p-1`` chosen splitters (root
+    payload only, per the recording convention).
+    """
+    if p < 1 or n_total < 0:
+        raise ValueError("need p >= 1 and n_total >= 0")
+    s = min(oversample, n_total // max(p, 1))
+    return {
+        "sampling": p * float(s) * itemsize,
+        "splitting": max(p - 1, 0) * float(itemsize),
+        "exchange": float(n_total) * itemsize,
+        "merge": 0.0,
+    }
+
+
+def traffic_psrs(n_total: int, p: int, *, itemsize: int = 8) -> dict[str, float]:
+    """Modelled per-phase wire bytes of PSRS (regular sampling).
+
+    Every rank contributes ``p-1`` regular samples to the root gather and
+    receives the ``p-1`` splitters by broadcast — both inside the
+    ``splitting`` phase (the gather happens after the local sort's mark).
+    """
+    if p < 1 or n_total < 0:
+        raise ValueError("need p >= 1 and n_total >= 0")
+    b = max(p - 1, 0)
+    return {
+        "local_sort": 0.0,
+        "splitting": p * b * float(itemsize) + b * float(itemsize),
+        "exchange": float(n_total) * itemsize,
+        "merge": 0.0,
+    }
 
 
 def predict_hss(

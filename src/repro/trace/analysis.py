@@ -28,6 +28,7 @@ __all__ = [
     "phase_breakdown",
     "phase_of",
     "traffic_matrix",
+    "phase_traffic",
     "PathSegment",
     "critical_path",
     "critical_path_composition",
@@ -158,6 +159,22 @@ def traffic_matrix(spans: list[Span]) -> dict[tuple[str, str], int]:
             index = phases.get(s.rank)
             phase = index.at(s.t0) if index is not None else "-"
             out[(phase, s.name)] += nbytes
+    return dict(out)
+
+
+def phase_traffic(spans: list[Span]) -> dict[str, int]:
+    """Bytes moved per phase, all operations combined.
+
+    The marginal of :func:`traffic_matrix` over operations — the measured
+    side of the ``repro.analyze cost`` model-conformance check, comparable
+    against the per-phase wire-byte predictions of
+    :mod:`repro.model.phases` because both follow the runtime's recording
+    conventions (every rank's payload counts; broadcasts count the root
+    payload once).
+    """
+    out: dict[str, int] = defaultdict(int)
+    for (phase, _op), nbytes in traffic_matrix(spans).items():
+        out[phase] += nbytes
     return dict(out)
 
 

@@ -126,7 +126,7 @@ class TestFinalizeAccounting:
         def prog(comm):
             if comm.rank == 0:
                 req = comm.irecv(source=1, tag=4)  # spmd: ignore[UNWAITED-REQUEST]
-                del req  # never waited  # spmd: ignore[SPMD-UNWAITED-REQUEST]
+                del req  # never waited
             return None
 
         with pytest.raises(MessageLeakError, match=r"never-completed irecv"):

@@ -120,8 +120,9 @@ class TestAlltoall:
 
     def test_alltoallv_roundtrip(self, run):
         def prog(comm):
+            # deliberately p²-total payload — exercises varying row sizes
             chunks = [np.full(d + 1, comm.rank) for d in range(comm.size)]
-            got = comm.alltoallv(chunks)
+            got = comm.alltoallv(chunks)  # spmd: ignore[P2-TRAFFIC]
             return [c.tolist() for c in got]
 
         out = run(3, prog)
